@@ -1,0 +1,93 @@
+/// Reproduces Fig. 5: fairness and stability. Four flows share one
+/// bottleneck; they arrive staggered and drain in reverse order. The
+/// paper shows PowerTCP and θ-PowerTCP settling to the fair share at
+/// every arrival/departure, TIMELY oscillating, and HOMA (receiver
+/// SRPT) serving messages by remaining size rather than fairly.
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cc/factory.hpp"
+#include "host/homa.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "stats/timeseries.hpp"
+#include "topo/dumbbell.hpp"
+
+using namespace powertcp;
+
+namespace {
+
+void run(const std::string& algo) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  topo::DumbbellConfig cfg;
+  cfg.n_senders = 4;
+  cfg.priority_bands = algo == "homa" ? 8 : 0;
+  topo::Dumbbell topo(network, cfg);
+
+  cc::FlowParams params;
+  params.host_bw = cfg.host_bw;
+  params.base_rtt = topo.base_rtt();
+  params.expected_flows = 4;
+
+  const sim::TimePs bin = sim::microseconds(100);
+  std::vector<stats::ThroughputSeries> series(
+      4, stats::ThroughputSeries(0, bin));
+  topo.receiver().set_data_callback(
+      [&series](net::FlowId flow, std::int64_t bytes, sim::TimePs now) {
+        if (flow >= 1 && flow <= 4) {
+          series[static_cast<std::size_t>(flow - 1)].add_bytes(now, bytes);
+        }
+      });
+
+  const sim::TimePs epoch = sim::microseconds(800);
+  const std::array<std::int64_t, 4> sizes = {14'000'000, 10'000'000,
+                                             6'000'000, 2'500'000};
+  if (algo == "homa") {
+    host::HomaConfig hc;
+    hc.rtt_bytes = static_cast<std::int64_t>(params.bdp_bytes());
+    for (int i = 0; i < 4; ++i) topo.sender(i).enable_homa(hc);
+    topo.receiver().enable_homa(hc);
+    for (int i = 0; i < 4; ++i) {
+      host::Host& s = topo.sender(i);
+      const auto fid = static_cast<net::FlowId>(i + 1);
+      const std::int64_t size = sizes.at(static_cast<std::size_t>(i));
+      simulator.schedule_at(i * epoch, [&s, fid, size, &topo] {
+        s.homa()->send_message(fid, topo.receiver().id(), size);
+      });
+    }
+  } else {
+    const cc::CcFactory factory = cc::make_factory(algo);
+    for (int i = 0; i < 4; ++i) {
+      topo.sender(i).start_flow(static_cast<net::FlowId>(i + 1),
+                                topo.receiver().id(),
+                                sizes.at(static_cast<std::size_t>(i)),
+                                factory(params), params, i * epoch);
+    }
+  }
+
+  simulator.run_until(sim::milliseconds(8));
+
+  std::printf("\n=== %s ===\n", algo.c_str());
+  std::printf("%10s %8s %8s %8s %8s   (Gbps per flow)\n", "time", "f1",
+              "f2", "f3", "f4");
+  for (std::size_t b = 0; b < series[0].bin_count(); b += 4) {
+    std::printf("%10s", sim::format_time(series[0].bin_start(b)).c_str());
+    for (const auto& s : series) std::printf(" %8.1f", s.gbps(b));
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 5: four staggered flows over a 25G bottleneck\n");
+  for (const std::string algo :
+       {"powertcp", "homa", "theta-powertcp", "timely"}) {
+    run(algo);
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+/// Incast scenario (paper Fig. 4): a long flow occupies a receiver's
+/// downlink when a synchronized fan-in of responders slams the same
+/// bottleneck. Compares how each congestion controller absorbs the
+/// burst: peak queue, drops, time back to near-zero queueing, and the
+/// long flow's throughput sacrifice.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cc/factory.hpp"
+#include "harness/experiment.hpp"
+#include "host/flow.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "stats/percentiles.hpp"
+#include "stats/timeseries.hpp"
+#include "topo/fat_tree.hpp"
+
+using namespace powertcp;
+
+namespace {
+
+struct Outcome {
+  double peak_queue_kb = 0;
+  double settle_us = -1;  ///< time from burst until queue < 10% of peak
+  double long_flow_gbps = 0;
+  std::uint64_t drops = 0;
+  double burst_p99_fct_us = 0;
+};
+
+Outcome run(const std::string& cc_name, int fan_in) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  topo::FatTreeConfig cfg = topo::FatTreeConfig::quick();
+  cfg.ecn = harness::ecn_profile_for(cc_name);
+  topo::FatTree fabric(network, cfg);
+
+  cc::FlowParams params;
+  params.host_bw = cfg.host_bw;
+  params.base_rtt = fabric.max_base_rtt();
+  params.expected_flows = 8;
+  const cc::CcFactory factory = cc::make_factory(cc_name);
+
+  // Receiver: host 0. Long-flow sender: last host (different pod).
+  const int receiver = 0;
+  const int long_sender = fabric.host_count() - 1;
+  stats::ThroughputSeries long_goodput(0, sim::microseconds(50));
+  fabric.host(receiver).set_data_callback(
+      [&](net::FlowId flow, std::int64_t bytes, sim::TimePs now) {
+        if (flow == 1) long_goodput.add_bytes(now, bytes);
+      });
+  fabric.host(long_sender)
+      .start_flow(1, fabric.host_node(receiver), 1'000'000'000,
+                  factory(params), params, 0);
+
+  // The receiver's ToR downlink is the bottleneck; watch its queue.
+  stats::QueueSeries queue;
+  fabric.tor(0).port(fabric.tor_down_port(receiver)).set_queue_monitor(&queue);
+
+  // Burst at t = 300us: fan_in responders in other racks, 50KB each.
+  const sim::TimePs burst_at = sim::microseconds(300);
+  stats::Samples burst_fcts;
+  for (int i = 0; i < fan_in; ++i) {
+    const int responder =
+        cfg.servers_per_tor + i % (fabric.host_count() - cfg.servers_per_tor);
+    fabric.host(responder).start_flow(
+        static_cast<net::FlowId>(100 + i), fabric.host_node(receiver),
+        50'000, factory(params), params, burst_at,
+        [&burst_fcts](const host::FlowCompletion& c) {
+          burst_fcts.add(sim::to_microseconds(c.finish - c.start));
+        });
+  }
+
+  simulator.run_until(sim::milliseconds(3));
+
+  Outcome out;
+  out.peak_queue_kb = static_cast<double>(queue.max_bytes()) / 1e3;
+  out.drops = fabric.total_drops();
+  out.long_flow_gbps =
+      long_goodput.mean_gbps(40, long_goodput.bin_count());  // post-burst
+  if (!burst_fcts.empty()) out.burst_p99_fct_us = burst_fcts.percentile(99);
+  // Settle time: first time after the burst the queue dips below 10% of
+  // its peak.
+  const auto threshold =
+      static_cast<std::int64_t>(queue.max_bytes() / 10);
+  for (const auto& p : queue.points()) {
+    if (p.t > burst_at + sim::microseconds(20) && p.bytes <= threshold) {
+      out.settle_us = sim::to_microseconds(p.t - burst_at);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> algos = {"powertcp", "theta-powertcp",
+                                          "hpcc",     "timely",
+                                          "dcqcn",    "dctcp"};
+  std::printf("Incast fan-in against a long flow (quick fat-tree)\n\n");
+  for (const int fan_in : {10, 40}) {
+    std::printf("== %d:1 incast ==\n", fan_in);
+    std::printf("%-16s %10s %10s %10s %8s %12s\n", "algorithm", "peakQ(KB)",
+                "settle(us)", "longGbps", "drops", "burstP99(us)");
+    for (const auto& a : algos) {
+      const Outcome o = run(a, fan_in);
+      std::printf("%-16s %10.1f %10.1f %10.1f %8llu %12.1f\n", a.c_str(),
+                  o.peak_queue_kb, o.settle_us, o.long_flow_gbps,
+                  static_cast<unsigned long long>(o.drops),
+                  o.burst_p99_fct_us);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// Reconfigurable-DCN scenario (paper §5): hosts in one rack stream to a
+/// remote rack while an optical circuit switch cycles its matchings.
+/// Shows PowerTCP ramping into the 100G circuit within an RTT and
+/// draining back when the day ends, versus reTCP's prebuffered queues.
+
+#include <cstdio>
+#include <string>
+
+#include "cc/power_tcp.hpp"
+#include "cc/retcp.hpp"
+#include "host/flow.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "stats/timeseries.hpp"
+#include "topo/rdcn.hpp"
+
+using namespace powertcp;
+
+namespace {
+
+void run(const std::string& algo) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+
+  topo::RdcnConfig cfg;
+  cfg.n_tors = 8;
+  cfg.servers_per_tor = 4;
+  topo::Rdcn rdcn(network, cfg);
+
+  const sim::TimePs tau = rdcn.max_base_rtt();
+  cc::FlowParams params;
+  params.host_bw = cfg.host_bw;
+  params.base_rtt = tau;
+  params.expected_flows = 10;  // N in beta = HostBw*tau/N (small q_e)
+
+  // All four hosts of rack 0 stream to distinct hosts of rack 1.
+  stats::ThroughputSeries goodput(0, sim::microseconds(25));
+  const int senders = cfg.servers_per_tor;
+  for (int s = 0; s < senders; ++s) {
+    const int dst_host = cfg.servers_per_tor + s;  // rack 1
+    rdcn.host(dst_host).set_data_callback(
+        [&goodput](net::FlowId, std::int64_t bytes, sim::TimePs now) {
+          goodput.add_bytes(now, bytes);
+        });
+    std::unique_ptr<cc::CcAlgorithm> cc_algo;
+    if (algo == "powertcp") {
+      cc::PowerTcpConfig pcfg;
+      pcfg.per_rtt_update = true;  // §5's fair-comparison mode
+      pcfg.max_cwnd_bdp = 4.0;     // circuit BDP is 4x the packet BDP
+      cc_algo = std::make_unique<cc::PowerTcp>(params, pcfg);
+    } else {
+      cc::ReTcpConfig rcfg;
+      rcfg.prebuffering = sim::microseconds(600);
+      rcfg.circuit_bw_bps = cfg.circuit_bw.bps();
+      rcfg.packet_bw_bps = cfg.packet_bw.bps();
+      cc_algo = std::make_unique<cc::ReTcp>(params, &rdcn.schedule(), 0, 1,
+                                            rcfg);
+    }
+    rdcn.host(s).start_flow(static_cast<net::FlowId>(s + 1),
+                            rdcn.host(dst_host).id(),
+                            /*size=*/1'000'000'000, std::move(cc_algo),
+                            params, /*start=*/0);
+  }
+
+  stats::QueueSeries voq;
+  // Monitor the rack-0 VOQ toward rack 1 via the circuit port monitor.
+  rdcn.tor(0).port(rdcn.tor(0).circuit_port_index()).set_queue_monitor(&voq);
+
+  simulator.run_until(sim::milliseconds(3));
+
+  std::printf("\n%s: rack0 -> rack1, circuit day %s / night %s, tau %s\n",
+              algo.c_str(), sim::format_time(cfg.day).c_str(),
+              sim::format_time(cfg.night).c_str(),
+              sim::format_time(tau).c_str());
+  std::printf("%10s %10s %12s %14s\n", "time", "gbps", "voq(KB)",
+              "circuit-up?");
+  for (std::size_t bin = 0; bin < goodput.bin_count() && bin < 96;
+       bin += 2) {
+    const sim::TimePs t = goodput.bin_start(bin);
+    const bool up = rdcn.schedule().active_peer(0, t) == 1;
+    std::printf("%10s %10.1f %12.1f %14s\n", sim::format_time(t).c_str(),
+                (goodput.gbps(bin) + goodput.gbps(bin + 1)) / 2.0,
+                static_cast<double>(voq.at(t)) / 1e3, up ? "day" : "-");
+  }
+}
+
+}  // namespace
+
+int main() {
+  run("powertcp");
+  run("retcp");
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "analysis/control_law.hpp"
+
+#include <stdexcept>
+
+namespace powertcp::analysis {
+
+std::string_view law_name(LawType law) {
+  switch (law) {
+    case LawType::kQueueLength:
+      return "queue-length (voltage)";
+    case LawType::kDelay:
+      return "delay (voltage)";
+    case LawType::kRttGradient:
+      return "rtt-gradient (current)";
+    case LawType::kPower:
+      return "power (PowerTCP)";
+  }
+  throw std::logic_error("law_name: bad enum");
+}
+
+double feedback_ratio(LawType law, const FluidParams& p, double q_bytes,
+                      double q_dot_Bps, double mu_Bps) {
+  const double b = p.bandwidth_Bps;
+  const double tau = p.base_rtt_s;
+  switch (law) {
+    case LawType::kQueueLength:
+      // f/e = (q + bτ) / bτ
+      return (q_bytes + b * tau) / (b * tau);
+    case LawType::kDelay:
+      // f/e = (q/b + τ) / τ — identical ratio to queue length.
+      return (q_bytes / b + tau) / tau;
+    case LawType::kRttGradient:
+      // f/e = q̇/b + 1
+      return q_dot_Bps / b + 1.0;
+    case LawType::kPower:
+      // f/e = (q̇ + µ)(q + bτ) / (b²τ)
+      return (q_dot_Bps + mu_Bps) * (q_bytes + b * tau) / (b * b * tau);
+  }
+  throw std::logic_error("feedback_ratio: bad enum");
+}
+
+}  // namespace powertcp::analysis

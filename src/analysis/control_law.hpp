@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string_view>
+
+/// \file control_law.hpp
+/// The simplified congestion-avoidance model of §2.2 / Appendix C:
+///
+///   w(t+δt) = γ·( w(t)·e/f(t) + β ) + (1−γ)·w(t)
+///
+/// with (e, f) selecting the law. This header provides the (e, f)
+/// algebra shared by the phase-plot machinery (Fig. 3), the reaction
+/// curves (Fig. 2) and the theorem property tests.
+
+namespace powertcp::analysis {
+
+enum class LawType {
+  kQueueLength,  ///< e = b·τ,  f = q + b·τ           (voltage, HPCC-like)
+  kDelay,        ///< e = τ,    f = q/b + τ           (voltage, Swift-like)
+  kRttGradient,  ///< e = 1,    f = q̇/b + 1           (current, TIMELY-like)
+  kPower,        ///< e = b²·τ, f = (q̇+µ)·(q+b·τ)     (PowerTCP)
+};
+
+std::string_view law_name(LawType law);
+
+/// Parameters of the single-bottleneck fluid model (Appendix A).
+struct FluidParams {
+  double bandwidth_Bps = 100e9 / 8.0;  ///< b in bytes/s
+  double base_rtt_s = 20e-6;           ///< τ
+  double gamma = 0.9;                  ///< EWMA weight γ
+  double update_interval_s = 20e-6;    ///< δt (≈ one RTT)
+  double beta_bytes = 0.0;             ///< aggregate additive increase β̂
+
+  double bdp_bytes() const { return bandwidth_Bps * base_rtt_s; }
+  double gamma_rate() const { return gamma / update_interval_s; }
+};
+
+/// The normalized feedback f/e for a law at bottleneck state (q, q̇, µ):
+/// this is the *multiplicative decrease* the law applies (Fig. 2's
+/// y-axis). µ is the bottleneck transmission rate in bytes/s.
+double feedback_ratio(LawType law, const FluidParams& p, double q_bytes,
+                      double q_dot_Bps, double mu_Bps);
+
+}  // namespace powertcp::analysis

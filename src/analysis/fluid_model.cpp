@@ -1,0 +1,103 @@
+#include "analysis/fluid_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace powertcp::analysis {
+
+double FluidState::inflight_bytes(const FluidParams& p) const {
+  // Bytes in the pipe (τ · achieved rate) plus the queue.
+  const double theta = q_bytes / p.bandwidth_Bps + p.base_rtt_s;
+  const double lambda = w_bytes / theta;
+  const double mu = q_bytes > 0 ? p.bandwidth_Bps
+                                : std::min(p.bandwidth_Bps, lambda);
+  return mu * p.base_rtt_s + q_bytes;
+}
+
+double FluidModel::arrival_rate(const FluidState& s) const {
+  const double theta = s.q_bytes / params_.bandwidth_Bps + params_.base_rtt_s;
+  return s.w_bytes / theta;
+}
+
+double FluidModel::service_rate(const FluidState& s) const {
+  if (s.q_bytes > 0) return params_.bandwidth_Bps;
+  return std::min(params_.bandwidth_Bps, arrival_rate(s));
+}
+
+double FluidModel::queue_derivative(const FluidState& s) const {
+  const double dq = arrival_rate(s) - params_.bandwidth_Bps;
+  if (s.q_bytes <= 0 && dq < 0) return 0.0;  // queue cannot go negative
+  return dq;
+}
+
+double FluidModel::window_derivative(const FluidState& s) const {
+  const double ratio = feedback_ratio(law_, params_, s.q_bytes,
+                                      queue_derivative(s), service_rate(s));
+  const double safe = std::max(ratio, 1e-9);
+  return params_.gamma_rate() *
+         (s.w_bytes / safe - s.w_bytes + params_.beta_bytes);
+}
+
+FluidState FluidModel::step(const FluidState& s, double h) const {
+  const auto deriv = [this](const FluidState& x) {
+    return FluidState{window_derivative(x), queue_derivative(x)};
+  };
+  const auto advance = [](const FluidState& x, const FluidState& d,
+                          double dt) {
+    FluidState out;
+    out.w_bytes = std::max(0.0, x.w_bytes + d.w_bytes * dt);
+    out.q_bytes = std::max(0.0, x.q_bytes + d.q_bytes * dt);
+    return out;
+  };
+  const FluidState k1 = deriv(s);
+  const FluidState k2 = deriv(advance(s, k1, h / 2));
+  const FluidState k3 = deriv(advance(s, k2, h / 2));
+  const FluidState k4 = deriv(advance(s, k3, h));
+  FluidState d;
+  d.w_bytes = (k1.w_bytes + 2 * k2.w_bytes + 2 * k3.w_bytes + k4.w_bytes) / 6;
+  d.q_bytes = (k1.q_bytes + 2 * k2.q_bytes + 2 * k3.q_bytes + k4.q_bytes) / 6;
+  return advance(s, d, h);
+}
+
+std::vector<FluidModel::TrajectoryPoint> FluidModel::trajectory(
+    const FluidState& init, double duration, double step_s,
+    double sample_every) const {
+  std::vector<TrajectoryPoint> out;
+  FluidState s = init;
+  double t = 0.0;
+  double next_sample = 0.0;
+  while (t <= duration + 1e-12) {
+    if (t >= next_sample - 1e-12) {
+      out.push_back({t, s, s.inflight_bytes(params_)});
+      next_sample += sample_every;
+    }
+    s = step(s, step_s);
+    t += step_s;
+  }
+  return out;
+}
+
+FluidState FluidModel::settle(const FluidState& init, double max_time,
+                              double step_s) const {
+  FluidState s = init;
+  const double tol = params_.bandwidth_Bps * 1e-6;
+  double t = 0.0;
+  while (t < max_time) {
+    s = step(s, step_s);
+    t += step_s;
+    if (std::abs(window_derivative(s)) < tol &&
+        std::abs(queue_derivative(s)) < tol && t > 10 * params_.base_rtt_s) {
+      break;
+    }
+  }
+  return s;
+}
+
+FluidState FluidModel::analytic_equilibrium() const {
+  // Appendix C: w_e = b·τ + β̂ and q_e = β̂ for queue-length, delay and
+  // power laws.
+  return FluidState{params_.bdp_bytes() + params_.beta_bytes,
+                    params_.beta_bytes};
+}
+
+}  // namespace powertcp::analysis

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/control_law.hpp"
+
+/// \file fluid_model.hpp
+/// Deterministic fluid model of one bottleneck (Eqs. 3, 4 / Appendix A):
+///
+///   ẇ = (γ/δt) · ( w·e/f − w + β̂ )
+///   q̇ = w/θ − b  if q > 0 (else clamped at 0),  θ = q/b + τ
+///
+/// integrated with classic RK4. Drives the phase plots of Fig. 3 and the
+/// stability/convergence property tests of Theorems 1–2.
+
+namespace powertcp::analysis {
+
+struct FluidState {
+  double w_bytes = 0.0;  ///< aggregate window
+  double q_bytes = 0.0;  ///< bottleneck queue
+
+  /// Bytes actually occupying pipe + queue; below BDP means the
+  /// bottleneck idles (Fig. 3's "throughput loss" region).
+  double inflight_bytes(const FluidParams& p) const;
+};
+
+class FluidModel {
+ public:
+  FluidModel(LawType law, const FluidParams& params)
+      : law_(law), params_(params) {}
+
+  LawType law() const { return law_; }
+  const FluidParams& params() const { return params_; }
+
+  /// Arrival rate λ = w/θ, bottleneck service µ = min(b, λ) when the
+  /// queue is empty, else b.
+  double arrival_rate(const FluidState& s) const;
+  double service_rate(const FluidState& s) const;
+  double queue_derivative(const FluidState& s) const;
+  double window_derivative(const FluidState& s) const;
+
+  /// One RK4 step of `h` seconds.
+  FluidState step(const FluidState& s, double h) const;
+
+  struct TrajectoryPoint {
+    double t = 0.0;
+    FluidState state;
+    double inflight_bytes = 0.0;
+  };
+
+  /// Integrates from `init` for `duration` seconds, sampling every
+  /// `sample_every` seconds (both in model time).
+  std::vector<TrajectoryPoint> trajectory(const FluidState& init,
+                                          double duration, double step_s,
+                                          double sample_every) const;
+
+  /// Fixed point (ẇ = q̇ = 0) reached from `init`; convergence is
+  /// declared when both derivatives are tiny relative to b.
+  FluidState settle(const FluidState& init, double max_time = 1.0,
+                    double step_s = 1e-7) const;
+
+  /// The analytic equilibrium for laws that have a unique one
+  /// (Appendix C): w_e = b·τ + β̂, q_e = β̂. RTT-gradient has none.
+  bool has_unique_equilibrium() const {
+    return law_ != LawType::kRttGradient;
+  }
+  FluidState analytic_equilibrium() const;
+
+ private:
+  LawType law_;
+  FluidParams params_;
+};
+
+}  // namespace powertcp::analysis

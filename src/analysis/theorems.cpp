@@ -1,0 +1,61 @@
+#include "analysis/theorems.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace powertcp::analysis {
+
+std::array<double, 2> power_tcp_eigenvalues(const FluidParams& p) {
+  return {-1.0 / p.base_rtt_s, -p.gamma_rate()};
+}
+
+double power_tcp_window_solution(const FluidParams& p, double w_init,
+                                 double t) {
+  const double w_e = p.bdp_bytes() + p.beta_bytes;
+  return w_e + (w_init - w_e) * std::exp(-p.gamma_rate() * t);
+}
+
+double fit_decay_time_constant(const std::vector<double>& times,
+                               const std::vector<double>& windows,
+                               double w_equilibrium) {
+  if (times.size() != windows.size() || times.size() < 3) {
+    throw std::invalid_argument("fit_decay_time_constant: need >= 3 points");
+  }
+  // Linear least squares on ln|w - w_e| = ln|w0 - w_e| - t/T.
+  double sum_t = 0, sum_y = 0, sum_tt = 0, sum_ty = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double err = std::abs(windows[i] - w_equilibrium);
+    if (err < 1e-9) continue;  // converged: log undefined
+    const double y = std::log(err);
+    sum_t += times[i];
+    sum_y += y;
+    sum_tt += times[i] * times[i];
+    sum_ty += times[i] * y;
+    ++n;
+  }
+  if (n < 3) throw std::invalid_argument("fit: trajectory already converged");
+  const double dn = static_cast<double>(n);
+  const double slope =
+      (dn * sum_ty - sum_t * sum_y) / (dn * sum_tt - sum_t * sum_t);
+  if (slope >= 0) return INFINITY;  // not decaying
+  return -1.0 / slope;
+}
+
+double fair_share_window(const FluidParams& p, double beta_hat,
+                         double beta_i) {
+  if (beta_hat <= 0) throw std::invalid_argument("beta_hat must be > 0");
+  return (beta_hat + p.bdp_bytes()) / beta_hat * beta_i;
+}
+
+double power_property_error(const FluidParams& p, const FluidState& s) {
+  const double theta = s.q_bytes / p.bandwidth_Bps + p.base_rtt_s;
+  const double lambda = s.w_bytes / theta;  // current
+  const double nu = s.q_bytes + p.bdp_bytes();  // voltage
+  const double gamma_power = lambda * nu;
+  const double bw_window = p.bandwidth_Bps * s.w_bytes;
+  if (bw_window <= 0) throw std::invalid_argument("empty window");
+  return std::abs(gamma_power - bw_window) / bw_window;
+}
+
+}  // namespace powertcp::analysis

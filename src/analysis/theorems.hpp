@@ -1,0 +1,45 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "analysis/fluid_model.hpp"
+
+/// \file theorems.hpp
+/// Machine-checkable forms of the paper's Appendix A results:
+///  * Theorem 1 (stability): the linearization of PowerTCP around its
+///    equilibrium has eigenvalues {−1/τ, −γ/δt}, both negative.
+///  * Theorem 2 (convergence): after a perturbation the window decays
+///    exponentially toward equilibrium with time constant δt/γ.
+///  * Theorem 3 (fairness): per-flow equilibrium windows are
+///    proportional to their additive-increase weights β_i.
+///  * Property 1: Γ(t) = b · w(t − t_f) in the fluid model.
+
+namespace powertcp::analysis {
+
+/// Eigenvalues of the PowerTCP linearization (Theorem 1's matrix
+/// [[−1/τ, 1/τ], [0, −γ_r]]).
+std::array<double, 2> power_tcp_eigenvalues(const FluidParams& p);
+
+/// Closed-form window trajectory of Eq. 18:
+/// w(t) = w_e + (w_init − w_e)·exp(−γ_r·t).
+double power_tcp_window_solution(const FluidParams& p, double w_init,
+                                 double t);
+
+/// Fits exp decay to a simulated window trajectory and returns the
+/// measured time constant (seconds). Theorem 2 predicts δt/γ.
+double fit_decay_time_constant(const std::vector<double>& times,
+                               const std::vector<double>& windows,
+                               double w_equilibrium);
+
+/// Theorem 3: equilibrium window of flow i with weight beta_i when the
+/// aggregate additive increase is beta_hat:
+/// (w_i)_e = (β̂ + b·τ)/β̂ · β_i.
+double fair_share_window(const FluidParams& p, double beta_hat,
+                         double beta_i);
+
+/// Property 1 check: power computed from the fluid state vs b·w.
+/// Returns the relative error |Γ − b·w| / (b·w).
+double power_property_error(const FluidParams& p, const FluidState& s);
+
+}  // namespace powertcp::analysis

@@ -1,0 +1,120 @@
+#include "cc/classic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace powertcp::cc {
+
+NewReno::NewReno(const FlowParams& params, const NewRenoConfig& cfg)
+    : params_(params), cfg_(cfg) {
+  max_cwnd_ = std::max<double>(params_.mss, params_.bdp_bytes() * 4.0);
+  // Classic start: slow start from a small initial window.
+  cwnd_ = 10.0 * params_.mss;
+  ssthresh_ = max_cwnd_;
+}
+
+CcDecision NewReno::decision() const {
+  return CcDecision{cwnd_, params_.host_bw.bps()};
+}
+
+CcDecision NewReno::initial() const {
+  return CcDecision{10.0 * params_.mss, params_.host_bw.bps()};
+}
+
+CcDecision NewReno::on_ack(const AckContext& ctx) {
+  if (ctx.acked_bytes == 0 && ctx.ack_seq == last_ack_seq_) {
+    // Duplicate cumulative ack: a later segment arrived out of order,
+    // i.e. something in between was lost or delayed.
+    if (++dupacks_ == cfg_.dupack_threshold &&
+        ctx.ack_seq >= recover_until_) {
+      ssthresh_ = std::max<double>(params_.mss * 2.0,
+                                   cwnd_ * cfg_.ssthresh_factor);
+      cwnd_ = ssthresh_;
+      recover_until_ = ctx.snd_nxt;  // one reduction per window
+    }
+    return decision();
+  }
+  last_ack_seq_ = ctx.ack_seq;
+  dupacks_ = 0;
+  if (ctx.acked_bytes <= 0) return decision();
+
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += static_cast<double>(ctx.acked_bytes);  // slow start
+  } else {
+    // Congestion avoidance: one MSS per window's worth of acks.
+    cwnd_ += static_cast<double>(params_.mss) *
+             static_cast<double>(ctx.acked_bytes) / cwnd_;
+  }
+  cwnd_ = std::clamp<double>(cwnd_, params_.mss, max_cwnd_);
+  return decision();
+}
+
+void NewReno::on_timeout() {
+  ssthresh_ = std::max<double>(params_.mss * 2.0, cwnd_ / 2.0);
+  cwnd_ = params_.mss;
+  dupacks_ = 0;
+}
+
+Cubic::Cubic(const FlowParams& params, const CubicConfig& cfg)
+    : params_(params), cfg_(cfg) {
+  max_cwnd_ = std::max<double>(params_.mss, params_.bdp_bytes() * 4.0);
+  cwnd_ = 10.0 * params_.mss;
+  w_max_ = max_cwnd_;
+}
+
+CcDecision Cubic::decision() const {
+  return CcDecision{cwnd_, params_.host_bw.bps()};
+}
+
+CcDecision Cubic::initial() const {
+  return CcDecision{10.0 * params_.mss, params_.host_bw.bps()};
+}
+
+void Cubic::enter_recovery(sim::TimePs now) {
+  w_max_ = cwnd_;
+  cwnd_ = std::max<double>(params_.mss, cwnd_ * cfg_.beta);
+  epoch_start_ = now;
+}
+
+CcDecision Cubic::on_ack(const AckContext& ctx) {
+  if (ctx.acked_bytes == 0 && ctx.ack_seq == last_ack_seq_) {
+    if (++dupacks_ == cfg_.dupack_threshold &&
+        ctx.ack_seq >= recover_until_) {
+      enter_recovery(ctx.now);
+      recover_until_ = ctx.snd_nxt;
+    }
+    return decision();
+  }
+  last_ack_seq_ = ctx.ack_seq;
+  dupacks_ = 0;
+  if (ctx.acked_bytes <= 0) return decision();
+
+  if (epoch_start_ < 0) epoch_start_ = ctx.now;
+  // W(t) = C·(t − K)³ + W_max with K = cbrt(W_max·(1−β)/C), windows in
+  // MSS units and t in seconds, per the CUBIC paper.
+  const double wmax_mss = w_max_ / params_.mss;
+  const double k = std::cbrt(wmax_mss * (1.0 - cfg_.beta) / cfg_.c);
+  const double t = sim::to_seconds(ctx.now - epoch_start_);
+  const double target_mss = cfg_.c * std::pow(t - k, 3.0) + wmax_mss;
+  const double target = target_mss * params_.mss;
+  if (target > cwnd_) {
+    // Approach the cubic target over roughly one RTT of acks.
+    cwnd_ += (target - cwnd_) * static_cast<double>(ctx.acked_bytes) /
+             std::max(cwnd_, 1.0);
+  } else {
+    // TCP-friendly floor: at least additive increase.
+    cwnd_ += static_cast<double>(params_.mss) *
+             static_cast<double>(ctx.acked_bytes) / cwnd_;
+  }
+  cwnd_ = std::clamp<double>(cwnd_, params_.mss, max_cwnd_);
+  return decision();
+}
+
+void Cubic::on_timeout() {
+  w_max_ = cwnd_;
+  cwnd_ = params_.mss;
+  epoch_start_ = -1;
+  dupacks_ = 0;
+}
+
+}  // namespace powertcp::cc

@@ -1,0 +1,82 @@
+#pragma once
+
+#include "cc/cc_algorithm.hpp"
+
+/// \file classic.hpp
+/// The loss-based classics of the paper's Fig. 1 taxonomy ("CUBIC,
+/// NewReno — loss/ECN-based, voltage"): included to make the
+/// classification executable and as WAN-heritage baselines. Loss is
+/// inferred at the sender from duplicate cumulative acks (three
+/// dupacks = fast recovery) and retransmission timeouts.
+
+namespace powertcp::cc {
+
+struct NewRenoConfig {
+  int dupack_threshold = 3;
+  double ssthresh_factor = 0.5;
+};
+
+/// TCP NewReno congestion avoidance: slow start to ssthresh, then one
+/// MSS per RTT; halve on triple dupack; collapse to one MSS on RTO.
+class NewReno final : public CcAlgorithm {
+ public:
+  NewReno(const FlowParams& params, const NewRenoConfig& cfg = {});
+
+  CcDecision initial() const override;
+  CcDecision on_ack(const AckContext& ctx) override;
+  void on_timeout() override;
+  std::string_view name() const override { return "NewReno"; }
+
+  double cwnd() const { return cwnd_; }
+  double ssthresh() const { return ssthresh_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ private:
+  CcDecision decision() const;
+
+  FlowParams params_;
+  NewRenoConfig cfg_;
+  double cwnd_;
+  double ssthresh_;
+  double max_cwnd_;
+  std::int64_t last_ack_seq_ = -1;
+  int dupacks_ = 0;
+  std::int64_t recover_until_ = 0;  ///< fast-recovery exit sequence
+};
+
+struct CubicConfig {
+  double c = 0.4;          ///< CUBIC aggressiveness constant
+  double beta = 0.7;       ///< multiplicative decrease
+  int dupack_threshold = 3;
+};
+
+/// CUBIC (Ha et al. 2008): window grows as a cubic of the time since
+/// the last decrease, plateauing at the pre-loss window W_max.
+class Cubic final : public CcAlgorithm {
+ public:
+  Cubic(const FlowParams& params, const CubicConfig& cfg = {});
+
+  CcDecision initial() const override;
+  CcDecision on_ack(const AckContext& ctx) override;
+  void on_timeout() override;
+  std::string_view name() const override { return "CUBIC"; }
+
+  double cwnd() const { return cwnd_; }
+  double w_max() const { return w_max_; }
+
+ private:
+  void enter_recovery(sim::TimePs now);
+  CcDecision decision() const;
+
+  FlowParams params_;
+  CubicConfig cfg_;
+  double cwnd_;
+  double w_max_;
+  double max_cwnd_;
+  sim::TimePs epoch_start_ = -1;
+  std::int64_t last_ack_seq_ = -1;
+  int dupacks_ = 0;
+  std::int64_t recover_until_ = 0;
+};
+
+}  // namespace powertcp::cc

@@ -1,0 +1,69 @@
+#pragma once
+
+#include "cc/cc_algorithm.hpp"
+
+/// \file dcqcn.hpp
+/// DCQCN (Zhu et al., SIGCOMM 2015): the ECN-based rate control deployed
+/// in large RDMA fabrics and one of the paper's baselines. Switches mark
+/// with a RED profile; the receiver paces congestion notifications
+/// (CNPs) at most once per `cnp_interval`; the sender cuts its rate by
+/// α/2 on each CNP and recovers through fast-recovery /
+/// additive-increase / hyper-increase stages.
+///
+/// This implementation folds the NIC timers into the ack path: CNP
+/// pacing, α decay, and increase events are evaluated lazily from
+/// elapsed time on each acknowledgment, which is equivalent between
+/// acks because the rate only changes at those events.
+
+namespace powertcp::cc {
+
+struct DcqcnConfig {
+  double g = 1.0 / 256.0;           ///< α EWMA gain
+  sim::TimePs cnp_interval = sim::microseconds(50);
+  sim::TimePs alpha_timer = sim::microseconds(55);
+  sim::TimePs increase_timer = sim::microseconds(55);
+  std::int64_t increase_bytes = 10 * 1000 * 1000;  ///< byte-counter stage
+  int fast_recovery_stages = 5;
+  /// Additive/hyper increase in bits/s; < 0 derives HostBw/640 and
+  /// HostBw/64 (the 40 Mbps / 400 Mbps defaults scaled from 25G).
+  double rate_ai_bps = -1.0;
+  double rate_hai_bps = -1.0;
+  double min_rate_fraction = 0.001;
+};
+
+class Dcqcn final : public CcAlgorithm {
+ public:
+  Dcqcn(const FlowParams& params, const DcqcnConfig& cfg = {});
+
+  CcDecision initial() const override { return line_rate_start(params_); }
+  CcDecision on_ack(const AckContext& ctx) override;
+  void on_timeout() override;
+  std::string_view name() const override { return "DCQCN"; }
+
+  double rate_bps() const { return rate_bps_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  void on_cnp(sim::TimePs now);
+  void run_timers(sim::TimePs now);
+  void increase_event();
+  CcDecision decision() const;
+
+  FlowParams params_;
+  DcqcnConfig cfg_;
+  double rate_ai_;
+  double rate_hai_;
+  double min_rate_;
+
+  double rate_bps_;         ///< current rate RC
+  double target_rate_bps_;  ///< target rate RT
+  double alpha_ = 1.0;
+  sim::TimePs last_cnp_ = -1;
+  sim::TimePs last_alpha_update_ = 0;
+  sim::TimePs last_increase_ = 0;
+  std::int64_t bytes_since_increase_ = 0;
+  int timer_stage_ = 0;
+  int byte_stage_ = 0;
+};
+
+}  // namespace powertcp::cc

@@ -1,0 +1,42 @@
+#include "cc/dctcp.hpp"
+
+#include <algorithm>
+
+namespace powertcp::cc {
+
+Dctcp::Dctcp(const FlowParams& params, const DctcpConfig& cfg)
+    : params_(params), cfg_(cfg) {
+  max_cwnd_ = cfg_.max_cwnd_bdp * params_.bdp_bytes();
+  cwnd_ = std::max<double>(params_.mss, params_.bdp_bytes());
+}
+
+CcDecision Dctcp::on_ack(const AckContext& ctx) {
+  acked_bytes_ += ctx.acked_bytes;
+  if (ctx.ecn_echo) marked_bytes_ += ctx.acked_bytes;
+
+  if (ctx.ack_seq > window_end_seq_) {
+    // One observation window (≈ RTT) has elapsed.
+    const double f =
+        acked_bytes_ > 0
+            ? static_cast<double>(marked_bytes_) /
+                  static_cast<double>(acked_bytes_)
+            : 0.0;
+    alpha_ = (1.0 - cfg_.g) * alpha_ + cfg_.g * f;
+    if (marked_bytes_ > 0) {
+      cwnd_ *= 1.0 - alpha_ / 2.0;
+    } else {
+      cwnd_ += params_.mss;  // additive increase per RTT
+    }
+    cwnd_ = std::clamp<double>(cwnd_, params_.mss, max_cwnd_);
+    acked_bytes_ = 0;
+    marked_bytes_ = 0;
+    window_end_seq_ = ctx.snd_nxt;
+  }
+  return CcDecision{cwnd_, params_.host_bw.bps()};
+}
+
+void Dctcp::on_timeout() {
+  cwnd_ = std::max<double>(params_.mss, cwnd_ / 2.0);
+}
+
+}  // namespace powertcp::cc

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "cc/cc_algorithm.hpp"
+
+/// \file dctcp.hpp
+/// DCTCP (Alizadeh et al., SIGCOMM 2010): the canonical ECN
+/// fraction-based window law — the paper's exemplar of a *voltage-based*
+/// scheme that must keep a standing queue around the marking threshold
+/// K (§2.2). Per RTT: α ← (1−g)·α + g·F where F is the fraction of
+/// marked bytes; on a marked round w ← w·(1 − α/2), otherwise w += MSS.
+
+namespace powertcp::cc {
+
+struct DctcpConfig {
+  double g = 1.0 / 16.0;
+  double max_cwnd_bdp = 1.0;
+};
+
+class Dctcp final : public CcAlgorithm {
+ public:
+  Dctcp(const FlowParams& params, const DctcpConfig& cfg = {});
+
+  CcDecision initial() const override { return line_rate_start(params_); }
+  CcDecision on_ack(const AckContext& ctx) override;
+  void on_timeout() override;
+  std::string_view name() const override { return "DCTCP"; }
+
+  double alpha() const { return alpha_; }
+  double cwnd() const { return cwnd_; }
+
+ private:
+  FlowParams params_;
+  DctcpConfig cfg_;
+  double max_cwnd_;
+
+  double cwnd_;
+  double alpha_ = 1.0;
+  std::int64_t acked_bytes_ = 0;
+  std::int64_t marked_bytes_ = 0;
+  std::int64_t window_end_seq_ = 0;
+};
+
+}  // namespace powertcp::cc

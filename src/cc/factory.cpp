@@ -1,0 +1,73 @@
+#include "cc/factory.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "cc/classic.hpp"
+#include "cc/dcqcn.hpp"
+#include "cc/dctcp.hpp"
+#include "cc/hpcc.hpp"
+#include "cc/power_tcp.hpp"
+#include "cc/swift.hpp"
+#include "cc/theta_power_tcp.hpp"
+#include "cc/timely.hpp"
+
+namespace powertcp::cc {
+
+CcFactory make_factory(const std::string& name) {
+  if (name == "powertcp") {
+    return [](const FlowParams& p) { return std::make_unique<PowerTcp>(p); };
+  }
+  if (name == "powertcp-rtt") {
+    return [](const FlowParams& p) {
+      PowerTcpConfig cfg;
+      cfg.per_rtt_update = true;
+      return std::make_unique<PowerTcp>(p, cfg);
+    };
+  }
+  if (name == "theta-powertcp") {
+    return [](const FlowParams& p) {
+      return std::make_unique<ThetaPowerTcp>(p);
+    };
+  }
+  if (name == "hpcc") {
+    return [](const FlowParams& p) { return std::make_unique<Hpcc>(p); };
+  }
+  if (name == "hpcc-rtt") {
+    return [](const FlowParams& p) {
+      HpccConfig cfg;
+      cfg.per_rtt_update = true;
+      return std::make_unique<Hpcc>(p, cfg);
+    };
+  }
+  if (name == "dcqcn") {
+    return [](const FlowParams& p) { return std::make_unique<Dcqcn>(p); };
+  }
+  if (name == "timely") {
+    return [](const FlowParams& p) { return std::make_unique<Timely>(p); };
+  }
+  if (name == "dctcp") {
+    return [](const FlowParams& p) { return std::make_unique<Dctcp>(p); };
+  }
+  if (name == "swift") {
+    return [](const FlowParams& p) { return std::make_unique<Swift>(p); };
+  }
+  if (name == "newreno") {
+    return [](const FlowParams& p) { return std::make_unique<NewReno>(p); };
+  }
+  if (name == "cubic") {
+    return [](const FlowParams& p) { return std::make_unique<Cubic>(p); };
+  }
+  throw std::invalid_argument("make_factory: unknown CC algorithm '" + name +
+                              "'");
+}
+
+const std::vector<std::string>& sender_cc_names() {
+  static const std::vector<std::string> kNames = {
+      "powertcp", "theta-powertcp", "hpcc",  "dcqcn", "timely",
+      "dctcp",    "swift",          "newreno", "cubic"};
+  return kNames;
+}
+
+}  // namespace powertcp::cc

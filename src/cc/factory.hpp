@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cc/cc_algorithm.hpp"
+
+/// \file factory.hpp
+/// Name-based construction of congestion control algorithms with their
+/// default (paper §4.1) configurations — the registry benches and
+/// examples select from.
+
+namespace powertcp::cc {
+
+/// Supported names: "powertcp", "powertcp-rtt" (per-RTT update mode),
+/// "theta-powertcp", "hpcc", "hpcc-rtt", "dcqcn", "timely", "dctcp",
+/// "swift". Throws std::invalid_argument for unknown names.
+CcFactory make_factory(const std::string& name);
+
+/// All algorithm names the sender-side factory supports.
+const std::vector<std::string>& sender_cc_names();
+
+}  // namespace powertcp::cc

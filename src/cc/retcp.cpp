@@ -1,0 +1,49 @@
+#include "cc/retcp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace powertcp::cc {
+
+ReTcp::ReTcp(const FlowParams& params, const net::CircuitSchedule* schedule,
+             int src_tor, int dst_tor, const ReTcpConfig& cfg)
+    : params_(params),
+      schedule_(schedule),
+      src_tor_(src_tor),
+      dst_tor_(dst_tor),
+      cfg_(cfg) {
+  if (schedule_ == nullptr) {
+    throw std::invalid_argument("ReTcp: schedule required");
+  }
+  if (cfg_.scale > 0) {
+    scale_ = cfg_.scale;
+  } else if (cfg_.circuit_bw_bps > 0 && cfg_.packet_bw_bps > 0) {
+    scale_ = cfg_.circuit_bw_bps / cfg_.packet_bw_bps;
+  } else {
+    scale_ = 4.0;  // the paper's 100G / 25G default
+  }
+  base_cwnd_ = std::max<double>(params_.mss, params_.bdp_bytes());
+}
+
+double ReTcp::scale_at(sim::TimePs t) const {
+  const sim::TimePs day_start =
+      schedule_->next_connection(src_tor_, dst_tor_, t);
+  const sim::TimePs day_end = day_start + schedule_->day();
+  const sim::TimePs prebuf_start = day_start - cfg_.prebuffering;
+  if (t < prebuf_start || t >= day_end) return 1.0;
+  // Growth stops once the day begins (the circuit drains the backlog).
+  const sim::TimePs elapsed = std::min(t, day_start) - prebuf_start;
+  const double progress = static_cast<double>(elapsed) /
+                          static_cast<double>(cfg_.ramp_reference);
+  return 1.0 + (scale_ - 1.0) * progress;
+}
+
+CcDecision ReTcp::initial() const {
+  return CcDecision{base_cwnd_, params_.host_bw.bps()};
+}
+
+CcDecision ReTcp::on_ack(const AckContext& ctx) {
+  return CcDecision{base_cwnd_ * scale_at(ctx.now), params_.host_bw.bps()};
+}
+
+}  // namespace powertcp::cc

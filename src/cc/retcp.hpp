@@ -1,0 +1,59 @@
+#pragma once
+
+#include "cc/cc_algorithm.hpp"
+#include "net/circuit.hpp"
+
+/// \file retcp.hpp
+/// reTCP (Mukerjee et al., NSDI 2020), the circuit-aware baseline of the
+/// §5 case study. reTCP receives explicit circuit-state feedback and
+/// scales its window by the circuit/packet bandwidth ratio, starting a
+/// configurable *prebuffering* interval before the circuit day so the
+/// standing queue can be blasted at circuit rate the moment the light
+/// comes up. The prebuffered bytes are exactly the latency cost Fig. 8
+/// charges it with.
+
+namespace powertcp::cc {
+
+struct ReTcpConfig {
+  /// Ramp the window up this long before the sender's circuit day.
+  sim::TimePs prebuffering = sim::microseconds(600);
+  /// Window multiplier reached after `ramp_reference` of prebuffering;
+  /// < 0 derives the circuit/packet bandwidth ratio.
+  double scale = -1.0;
+  double circuit_bw_bps = 0.0;  ///< used when scale < 0
+  double packet_bw_bps = 0.0;   ///< used when scale < 0
+  /// Prebuffer duration that grows the window to exactly `scale`x. The
+  /// paper's sweep found 600us to be the minimum needed in its
+  /// topology; longer prebuffering keeps growing the window (deeper
+  /// standing queues, the latency cost Fig. 8b charges reTCP-1800us).
+  sim::TimePs ramp_reference = sim::microseconds(600);
+};
+
+class ReTcp final : public CcAlgorithm {
+ public:
+  ReTcp(const FlowParams& params, const net::CircuitSchedule* schedule,
+        int src_tor, int dst_tor, const ReTcpConfig& cfg = {});
+
+  CcDecision initial() const override;
+  CcDecision on_ack(const AckContext& ctx) override;
+  void on_timeout() override {}
+  std::string_view name() const override { return "reTCP"; }
+
+  /// Window multiplier at time t: 1 outside the prebuffer/day window,
+  /// growing linearly with prebuffer progress inside it.
+  double scale_at(sim::TimePs t) const;
+  /// True when inside [day_start - prebuffering, day_end) for this
+  /// sender's (src, dst) pair.
+  bool scaled_at(sim::TimePs t) const { return scale_at(t) > 1.0; }
+
+ private:
+  FlowParams params_;
+  const net::CircuitSchedule* schedule_;
+  int src_tor_;
+  int dst_tor_;
+  ReTcpConfig cfg_;
+  double scale_;
+  double base_cwnd_;
+};
+
+}  // namespace powertcp::cc

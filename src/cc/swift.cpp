@@ -1,0 +1,42 @@
+#include "cc/swift.hpp"
+
+#include <algorithm>
+
+namespace powertcp::cc {
+
+Swift::Swift(const FlowParams& params, const SwiftConfig& cfg)
+    : params_(params), cfg_(cfg) {
+  target_delay_ = static_cast<sim::TimePs>(
+      static_cast<double>(params_.base_rtt) * cfg_.target_rtt_factor);
+  max_cwnd_ = cfg_.max_cwnd_bdp * params_.bdp_bytes();
+  cwnd_ = std::max<double>(params_.mss, params_.bdp_bytes());
+}
+
+CcDecision Swift::on_ack(const AckContext& ctx) {
+  if (ctx.rtt <= 0) return CcDecision{cwnd_, params_.host_bw.bps()};
+  if (ctx.rtt < target_delay_) {
+    // Additive increase, spread across the acks of one window.
+    const double per_ack = cfg_.ai_mss_per_rtt *
+                           static_cast<double>(params_.mss) *
+                           static_cast<double>(ctx.acked_bytes) /
+                           std::max(cwnd_, 1.0);
+    cwnd_ += per_ack;
+  } else if (last_decrease_ < 0 ||
+             ctx.now - last_decrease_ >= ctx.rtt) {
+    const double overshoot =
+        static_cast<double>(ctx.rtt - target_delay_) /
+        static_cast<double>(ctx.rtt);
+    const double factor =
+        std::max(1.0 - cfg_.beta * overshoot, 1.0 - cfg_.max_mdf);
+    cwnd_ *= factor;
+    last_decrease_ = ctx.now;
+  }
+  cwnd_ = std::clamp(cwnd_, cfg_.min_cwnd_bytes, max_cwnd_);
+  return CcDecision{cwnd_, params_.host_bw.bps()};
+}
+
+void Swift::on_timeout() {
+  cwnd_ = std::max(cfg_.min_cwnd_bytes, cwnd_ / 2.0);
+}
+
+}  // namespace powertcp::cc

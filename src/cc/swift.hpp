@@ -1,0 +1,45 @@
+#pragma once
+
+#include "cc/cc_algorithm.hpp"
+
+/// \file swift.hpp
+/// Swift (Kumar et al., SIGCOMM 2020): TIMELY's production successor and
+/// the voltage-based delay CC the paper contrasts with θ-PowerTCP (§6).
+/// AIMD against a fixed target delay, with the multiplicative decrease
+/// applied at most once per RTT and clamped by max_mdf.
+
+namespace powertcp::cc {
+
+struct SwiftConfig {
+  /// Target delay as a multiple of the base RTT.
+  double target_rtt_factor = 1.25;
+  double ai_mss_per_rtt = 1.0;  ///< additive increase per RTT, in MSS
+  double beta = 0.8;            ///< MD strength
+  double max_mdf = 0.5;         ///< max multiplicative-decrease fraction
+  double max_cwnd_bdp = 1.0;
+  double min_cwnd_bytes = 100.0;
+};
+
+class Swift final : public CcAlgorithm {
+ public:
+  Swift(const FlowParams& params, const SwiftConfig& cfg = {});
+
+  CcDecision initial() const override { return line_rate_start(params_); }
+  CcDecision on_ack(const AckContext& ctx) override;
+  void on_timeout() override;
+  std::string_view name() const override { return "Swift"; }
+
+  double cwnd() const { return cwnd_; }
+  sim::TimePs target_delay() const { return target_delay_; }
+
+ private:
+  FlowParams params_;
+  SwiftConfig cfg_;
+  sim::TimePs target_delay_;
+  double max_cwnd_;
+
+  double cwnd_;
+  sim::TimePs last_decrease_ = -1;
+};
+
+}  // namespace powertcp::cc

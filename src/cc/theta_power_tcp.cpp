@@ -1,0 +1,80 @@
+#include "cc/theta_power_tcp.hpp"
+
+#include <algorithm>
+
+namespace powertcp::cc {
+
+namespace {
+/// RTT can never fall below the base RTT, so θ/τ >= 1 and sustained
+/// sub-unity power only appears through the (noisy) gradient term.
+/// Flooring the divisor bounds the multiplicative increase at 4x per
+/// update — the paper's "fill within one or two RTTs" — instead of
+/// letting one clamped-to-zero gradient sample blow the window to max.
+constexpr double kMinNormPower = 0.25;
+}
+
+ThetaPowerTcp::ThetaPowerTcp(const FlowParams& params,
+                             const ThetaPowerTcpConfig& cfg)
+    : params_(params),
+      cfg_(cfg),
+      tau_sec_(sim::to_seconds(params.base_rtt)) {
+  const double bdp = params_.bdp_bytes();
+  beta_ = cfg_.beta_bytes >= 0.0
+              ? cfg_.beta_bytes
+              : bdp / static_cast<double>(params_.expected_flows);
+  max_cwnd_ = cfg_.max_cwnd_bdp * bdp;
+  cwnd_ = std::max<double>(params_.mss, bdp);
+  cwnd_old_ = cwnd_;
+}
+
+CcDecision ThetaPowerTcp::decision() const {
+  return CcDecision{cwnd_, cwnd_ / tau_sec_ * 8.0};
+}
+
+CcDecision ThetaPowerTcp::on_ack(const AckContext& ctx) {
+  if (ctx.rtt <= 0) return decision();
+  if (!have_prev_) {
+    prev_rtt_ = ctx.rtt;
+    prev_ack_time_ = ctx.now;
+    have_prev_ = true;
+    return decision();
+  }
+  const sim::TimePs dt = ctx.now - prev_ack_time_;
+  if (dt <= 0) return decision();
+
+  // Algorithm 2: θ̇ from consecutive ack arrivals, then
+  // Γ_norm = (θ̇ + 1) · θ / τ, smoothed over the base RTT.
+  const double theta_dot = static_cast<double>(ctx.rtt - prev_rtt_) /
+                           static_cast<double>(dt);
+  // Physically θ̇ >= -1 (a queue cannot drain faster than the link
+  // serves, so λ = q̇ + µ >= 0); ack scheduling noise can report less,
+  // which would make power negative. Clamp at the physical bound.
+  const double theta_sec = sim::to_seconds(ctx.rtt);
+  const double norm =
+      std::max(0.0, theta_dot + 1.0) * theta_sec / tau_sec_;
+  const sim::TimePs dt_capped = std::min(dt, params_.base_rtt);
+  const double w = static_cast<double>(dt_capped) /
+                   static_cast<double>(params_.base_rtt);
+  smoothed_power_ = smoothed_power_ * (1.0 - w) + norm * w;
+
+  prev_rtt_ = ctx.rtt;
+  prev_ack_time_ = ctx.now;
+
+  // Window (and remembered old window) move once per RTT.
+  if (ctx.ack_seq > last_update_seq_) {
+    const double p = std::max(smoothed_power_, kMinNormPower);
+    cwnd_ =
+        cfg_.gamma * (cwnd_old_ / p + beta_) + (1.0 - cfg_.gamma) * cwnd_;
+    cwnd_ = std::clamp(cwnd_, 1.0, max_cwnd_);
+    cwnd_old_ = cwnd_;
+    last_update_seq_ = ctx.snd_nxt;
+  }
+  return decision();
+}
+
+void ThetaPowerTcp::on_timeout() {
+  cwnd_ = std::max<double>(params_.mss, cwnd_ / 2.0);
+  cwnd_old_ = cwnd_;
+}
+
+}  // namespace powertcp::cc

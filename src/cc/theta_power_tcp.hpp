@@ -1,0 +1,56 @@
+#pragma once
+
+#include "cc/cc_algorithm.hpp"
+
+/// \file theta_power_tcp.hpp
+/// θ-PowerTCP (paper §3.5, Algorithm 2): the standalone variant for
+/// legacy switches. Rearranging e/f with q/b + τ = θ and q̇/b = θ̇ gives
+///
+///   Γ_norm = (θ̇ + 1) · θ / τ
+///
+/// so the same power control law runs from end-host RTT measurements
+/// alone. It assumes the bottleneck transmits at full bandwidth
+/// (µ = b), which costs it the multiplicative ramp into *unused*
+/// bandwidth — the trade-off Figs. 6–7 show for long flows. Window
+/// updates happen once per RTT.
+
+namespace powertcp::cc {
+
+struct ThetaPowerTcpConfig {
+  double gamma = 0.9;
+  /// Additive increase in bytes; < 0 derives HostBw·τ/N.
+  double beta_bytes = -1.0;
+  double max_cwnd_bdp = 1.0;
+};
+
+class ThetaPowerTcp final : public CcAlgorithm {
+ public:
+  ThetaPowerTcp(const FlowParams& params, const ThetaPowerTcpConfig& cfg = {});
+
+  CcDecision initial() const override { return line_rate_start(params_); }
+  CcDecision on_ack(const AckContext& ctx) override;
+  void on_timeout() override;
+  std::string_view name() const override { return "Theta-PowerTCP"; }
+
+  double smoothed_power() const { return smoothed_power_; }
+  double cwnd() const { return cwnd_; }
+
+ private:
+  CcDecision decision() const;
+
+  FlowParams params_;
+  ThetaPowerTcpConfig cfg_;
+  double beta_;
+  double tau_sec_;
+  double max_cwnd_;
+
+  double cwnd_;
+  double cwnd_old_;
+  double smoothed_power_ = 1.0;
+  sim::TimePs prev_rtt_ = 0;
+  sim::TimePs prev_ack_time_ = 0;
+  bool have_prev_ = false;
+  std::int64_t last_update_seq_ = 0;
+};
+
+}  // namespace powertcp::cc

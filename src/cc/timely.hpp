@@ -1,0 +1,57 @@
+#pragma once
+
+#include "cc/cc_algorithm.hpp"
+
+/// \file timely.hpp
+/// TIMELY (Mittal et al., SIGCOMM 2015) — the paper's representative
+/// *current-based* CC: rate control from the RTT gradient, with low/high
+/// RTT thresholds and hyperactive increase (HAI) after five consecutive
+/// negative-gradient updates. As §2.2 analyses, the gradient signal has
+/// no unique queue-length equilibrium.
+
+namespace powertcp::cc {
+
+struct TimelyConfig {
+  /// EWMA weight for the RTT-difference filter.
+  double alpha = 0.875;
+  /// Multiplicative decrease factor β.
+  double beta = 0.8;
+  /// Additive step δ in bits/s; < 0 derives HostBw/100.
+  double delta_bps = -1.0;
+  /// Below t_low: pure additive increase. Above t_high: proportional
+  /// decrease regardless of gradient. <0 derive 1.5·τ / 5·τ.
+  sim::TimePs t_low = -1;
+  sim::TimePs t_high = -1;
+  int hai_threshold = 5;
+  double min_rate_fraction = 0.001;  ///< floor as a fraction of HostBw
+};
+
+class Timely final : public CcAlgorithm {
+ public:
+  Timely(const FlowParams& params, const TimelyConfig& cfg = {});
+
+  CcDecision initial() const override { return line_rate_start(params_); }
+  CcDecision on_ack(const AckContext& ctx) override;
+  void on_timeout() override;
+  std::string_view name() const override { return "TIMELY"; }
+
+  double rate_bps() const { return rate_bps_; }
+
+ private:
+  CcDecision decision() const;
+
+  FlowParams params_;
+  TimelyConfig cfg_;
+  sim::TimePs t_low_;
+  sim::TimePs t_high_;
+  double delta_;
+  double min_rate_;
+
+  double rate_bps_;
+  double rtt_diff_ = 0.0;  ///< filtered RTT difference (seconds)
+  sim::TimePs prev_rtt_ = 0;
+  bool have_prev_ = false;
+  int negative_gradient_streak_ = 0;
+};
+
+}  // namespace powertcp::cc

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+#include "stats/fct_recorder.hpp"
+#include "stats/percentiles.hpp"
+#include "topo/fat_tree.hpp"
+
+/// \file experiment.hpp
+/// The paper's workhorse experiment (§4.1): a fat-tree carrying the web
+/// search workload at a target ToR-uplink load, optionally overlaid
+/// with the synthetic incast/query workload, under a chosen congestion
+/// control scheme. Returns per-flow FCT slowdowns and fabric buffer
+/// occupancy samples — the raw material of Figs. 6 and 7.
+
+namespace powertcp::harness {
+
+struct FatTreeExperiment {
+  topo::FatTreeConfig topo = topo::FatTreeConfig::quick();
+  /// Any cc::make_factory name, or "homa" for the receiver-driven
+  /// transport (which switches the fabric to 8 priority bands).
+  std::string cc = "powertcp";
+  double uplink_load = 0.6;  ///< websearch load on the ToR uplinks
+  sim::TimePs duration = sim::milliseconds(20);
+  std::uint64_t seed = 1;
+  /// Scale factor applied to websearch flow sizes; < 1 trades flow size
+  /// for flow count so quick runs still populate tail percentiles.
+  double size_scale = 1.0;
+  /// Expected flows per host NIC (the N in β = HostBw·τ/N). Loaded
+  /// fabrics run tens of concurrent flows per host; the standing queue
+  /// of every β-driven law is Σβ, so N must reflect that concurrency
+  /// (bench_ablation_params sweeps it).
+  int expected_flows = 64;
+  int homa_overcommit = 1;
+
+  // Optional incast overlay (§4.1's distributed-file-system queries).
+  bool incast = false;
+  double incast_requests_per_sec = 4.0;
+  std::int64_t incast_request_bytes = 2'000'000;
+  int incast_fan_in = 16;
+
+  /// Fabric queue sampling period for the occupancy CDF (Fig. 7g/7h).
+  sim::TimePs queue_sample_every = sim::microseconds(20);
+};
+
+struct ExperimentResult {
+  stats::FctRecorder fct;
+  stats::Samples uplink_queue_bytes;  ///< periodic ToR-uplink samples
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  std::uint64_t drops = 0;
+  sim::TimePs tau = 0;
+
+  double completion_rate() const {
+    return flows_started == 0
+               ? 1.0
+               : static_cast<double>(flows_completed) /
+                     static_cast<double>(flows_started);
+  }
+};
+
+/// Builds the fabric, generates the workload, runs to completion of the
+/// time horizon, and collects results. Deterministic in `cfg.seed`.
+ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg);
+
+/// ECN profile used when `cc` needs marking (DCQCN: RED 1000/4000
+/// bytes-per-Gbps with pmax 0.2; DCTCP: step at 700 bytes-per-Gbps),
+/// exposed for tests.
+net::EcnConfig ecn_profile_for(const std::string& cc);
+
+}  // namespace powertcp::harness

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+/// \file homa.hpp
+/// Receiver-driven message transport in the style of HOMA (Montazeri et
+/// al., SIGCOMM 2018) — the paper's receiver-driven baseline (§4,
+/// Appendix D).
+///
+/// Mechanisms reproduced (simplifications documented in DESIGN.md §4):
+///  * Unscheduled data: the first RTTbytes of every message leave
+///    immediately at line rate, at a priority picked from the message
+///    size (smaller message -> higher priority).
+///  * Scheduled data: the receiver grants SRPT-ordered messages so that
+///    each granted message keeps up to RTTbytes outstanding.
+///  * Overcommitment: up to `overcommit` messages hold active grants at
+///    once (paper Fig. 9-11 sweep levels 1..6).
+///  * Loss recovery: a stalled incomplete message triggers a resend
+///    request for the first missing byte (switch buffer drops are real
+///    in these experiments — that is the point of §4.2's HOMA results).
+
+namespace powertcp::host {
+
+class Host;
+
+struct HomaConfig {
+  /// Unscheduled window and per-grant outstanding cap (HostBw × τ,
+  /// "RTTBytes" in §4.1).
+  std::int64_t rtt_bytes = 25'000;
+  int overcommit = 1;
+  std::int32_t mss = net::kDefaultMss;
+  /// Message-size upper bounds mapping to unscheduled priority bands
+  /// 1..N (band 0 carries grants); scheduled data uses the bands below.
+  std::vector<std::int64_t> unscheduled_cutoffs = {10'000, 50'000, 200'000,
+                                                   1'000'000, 5'000'000};
+  int total_priorities = 8;
+  sim::TimePs resend_interval = sim::microseconds(300);
+  int max_resends = 50;
+};
+
+/// Fired on the *receiving* host when a message's last byte arrives.
+struct MessageCompletion {
+  net::FlowId message = 0;
+  std::int64_t size_bytes = 0;
+  sim::TimePs start = 0;   ///< sender-side first transmission time
+  sim::TimePs finish = 0;  ///< receiver-side last byte time
+};
+using MessageCallback = std::function<void(const MessageCompletion&)>;
+
+class HomaTransport {
+ public:
+  HomaTransport(Host& host, const HomaConfig& cfg);
+
+  /// Sends a message; unscheduled bytes leave immediately.
+  void send_message(net::FlowId message, net::NodeId dst,
+                    std::int64_t size_bytes);
+
+  /// Demultiplexed by Host::receive for kHomaData / kHomaGrant.
+  void on_packet(const net::Packet& pkt);
+
+  void set_message_callback(MessageCallback cb) {
+    on_complete_ = std::move(cb);
+  }
+
+  int active_incoming() const { return static_cast<int>(incoming_.size()); }
+  int active_outgoing() const { return static_cast<int>(outgoing_.size()); }
+
+  /// Priority band for an unscheduled packet of a message of this size.
+  std::uint8_t unscheduled_priority(std::int64_t message_bytes) const;
+
+ private:
+  struct OutMessage {
+    net::NodeId dst = net::kInvalidNode;
+    std::int64_t size = 0;
+    std::int64_t sent = 0;     ///< next byte to transmit
+    std::int64_t granted = 0;  ///< receiver's grant edge
+    std::uint8_t sched_priority = 0;
+    sim::TimePs start = 0;
+  };
+  struct InMessage {
+    net::NodeId src = net::kInvalidNode;
+    std::int64_t size = 0;
+    std::int64_t received = 0;  ///< distinct payload bytes so far
+    std::vector<bool> got;      ///< per-MSS-chunk arrival map
+    std::int64_t granted = 0;
+    sim::TimePs start = 0;          ///< echoed sender start
+    sim::TimePs last_activity = 0;
+    int resends = 0;
+    bool grant_active = false;  ///< currently in the overcommit set
+    std::uint8_t sched_prio_cache = 0;
+  };
+
+  std::int64_t aligned_grant(std::int64_t want, std::int64_t size) const;
+  void handle_data(const net::Packet& pkt);
+  void handle_grant(const net::Packet& pkt);
+  void pump_out(net::FlowId id, OutMessage& m);
+  /// Recomputes the overcommit set (SRPT) and emits new grants.
+  void update_grants();
+  void send_grant(net::FlowId id, InMessage& m, std::int64_t resend_from);
+  void arm_resend_timer();
+  void check_stalled();
+
+  Host& host_;
+  HomaConfig cfg_;
+  std::unordered_map<net::FlowId, OutMessage> outgoing_;
+  std::map<net::FlowId, InMessage> incoming_;  // ordered for determinism
+  MessageCallback on_complete_;
+  bool resend_timer_armed_ = false;
+};
+
+}  // namespace powertcp::host

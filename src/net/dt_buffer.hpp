@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file dt_buffer.hpp
+/// Shared-memory buffer with the Dynamic Thresholds admission policy of
+/// Choudhury & Hahne (IEEE/ACM ToN 1998) — the buffer management the
+/// paper enables on every switch (§4.1), as commodity datacenter ASICs do.
+///
+/// A packet is admitted to a queue iff
+///     qlen(queue) < alpha * (B - U)
+/// where B is the total buffer, U the bytes currently used across all
+/// queues, and alpha the DT control parameter (default 1, as in the
+/// original paper's "fair" setting).
+
+namespace powertcp::net {
+
+class DtSharedBuffer {
+ public:
+  DtSharedBuffer(std::int64_t total_bytes, double alpha = 1.0)
+      : total_bytes_(total_bytes), alpha_(alpha) {}
+
+  /// True iff a packet of `pkt_bytes` may join a queue currently holding
+  /// `queue_bytes`. Does not reserve — call `on_enqueue` after admitting.
+  bool admits(std::int64_t queue_bytes, std::int64_t pkt_bytes) const {
+    const std::int64_t free_bytes = total_bytes_ - used_bytes_;
+    if (pkt_bytes > free_bytes) return false;  // hard capacity
+    const double threshold = alpha_ * static_cast<double>(free_bytes);
+    return static_cast<double>(queue_bytes) < threshold;
+  }
+
+  void on_enqueue(std::int64_t pkt_bytes) { used_bytes_ += pkt_bytes; }
+  void on_dequeue(std::int64_t pkt_bytes) { used_bytes_ -= pkt_bytes; }
+
+  std::int64_t used_bytes() const { return used_bytes_; }
+  std::int64_t total_bytes() const { return total_bytes_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  std::int64_t total_bytes_;
+  double alpha_;
+  std::int64_t used_bytes_ = 0;
+};
+
+}  // namespace powertcp::net

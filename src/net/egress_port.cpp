@@ -1,0 +1,124 @@
+#include "net/egress_port.hpp"
+
+#include "net/node.hpp"
+
+namespace powertcp::net {
+
+EgressPort::EgressPort(sim::Simulator& simulator, sim::Bandwidth bw,
+                       sim::TimePs propagation_delay)
+    : sim_(simulator), bandwidth_(bw), propagation_(propagation_delay) {}
+
+EgressPort::~EgressPort() = default;
+
+bool EgressPort::enqueue(Packet pkt) {
+  const std::int64_t sz = pkt.wire_bytes();
+  if (shared_buffer_ != nullptr &&
+      !shared_buffer_->admits(queue_bytes(), sz)) {
+    ++drops_;
+    sample_queue();
+    return false;
+  }
+  if (shared_buffer_ != nullptr) shared_buffer_->on_enqueue(sz);
+  maybe_mark_ecn(pkt);
+  pkt.enqueue_time = sim_.now();
+  push_to_queue(std::move(pkt));
+  sample_queue();
+  kick();
+  return true;
+}
+
+void EgressPort::kick() {
+  if (busy_) return;
+  SelectResult sel = try_select();
+  if (sel.pkt.has_value()) {
+    if (pending_kick_at_ != sim::kTimeInfinity) {
+      sim_.cancel(pending_kick_id_);
+      pending_kick_at_ = sim::kTimeInfinity;
+    }
+    start_tx(std::move(*sel.pkt));
+    return;
+  }
+  if (sel.retry_at == sim::kTimeInfinity) return;
+  // Deduplicate wakeups: keep only the earliest pending retry.
+  if (pending_kick_at_ != sim::kTimeInfinity &&
+      pending_kick_at_ <= sel.retry_at) {
+    return;
+  }
+  if (pending_kick_at_ != sim::kTimeInfinity) sim_.cancel(pending_kick_id_);
+  pending_kick_at_ = sel.retry_at;
+  pending_kick_id_ = sim_.schedule_at(sel.retry_at, [this] {
+    pending_kick_at_ = sim::kTimeInfinity;
+    kick();
+  });
+}
+
+void EgressPort::start_tx(Packet pkt) {
+  busy_ = true;
+  // INT is stamped "when the packet is scheduled for transmission"
+  // (paper §3.3): queue length is the backlog left behind, txBytes the
+  // cumulative count before this packet.
+  if (int_enabled_ && (pkt.type == PacketType::kData ||
+                       pkt.type == PacketType::kHomaData)) {
+    IntHopRecord rec;
+    rec.qlen_bytes = int_qlen_bytes();
+    rec.tx_bytes = tx_bytes_;
+    rec.ts = sim_.now();
+    rec.bandwidth_bps = bandwidth_.bps();
+    pkt.int_hdr.push(rec);
+  }
+  if (sojourn_cb_) sojourn_cb_(sim_.now() - pkt.enqueue_time);
+  sample_queue();
+  tx_bytes_ += pkt.wire_bytes();
+  ++tx_packets_;
+  const sim::TimePs tx_time = bandwidth_.tx_time(pkt.wire_bytes());
+  sim_.schedule_in(tx_time, [this, pkt = std::move(pkt)]() mutable {
+    finish_tx(std::move(pkt));
+  });
+}
+
+void EgressPort::finish_tx(Packet pkt) {
+  busy_ = false;
+  if (shared_buffer_ != nullptr) shared_buffer_->on_dequeue(pkt.wire_bytes());
+  if (tx_monitor_ != nullptr) tx_monitor_->add_bytes(sim_.now(), pkt.wire_bytes());
+  if (peer_ != nullptr) {
+    sim_.schedule_in(propagation_,
+                     [peer = peer_, in_port = peer_in_port_,
+                      pkt = std::move(pkt)]() mutable {
+                       peer->receive(std::move(pkt), in_port);
+                     });
+  }
+  kick();
+}
+
+void EgressPort::maybe_mark_ecn(Packet& pkt) const {
+  if (!ecn_.enabled || !pkt.ecn_capable) return;
+  const std::int64_t q = queue_bytes();
+  if (q <= ecn_.kmin_bytes) return;
+  if (q >= ecn_.kmax_bytes) {
+    pkt.ecn_marked = true;
+    return;
+  }
+  const double span = static_cast<double>(ecn_.kmax_bytes - ecn_.kmin_bytes);
+  const double p =
+      ecn_.pmax * static_cast<double>(q - ecn_.kmin_bytes) / span;
+  if (ecn_rng_.uniform() < p) pkt.ecn_marked = true;
+}
+
+void EgressPort::sample_queue() {
+  if (queue_monitor_ != nullptr) {
+    queue_monitor_->sample(sim_.now(), queue_bytes());
+  }
+}
+
+BasicPort::BasicPort(sim::Simulator& simulator, sim::Bandwidth bw,
+                     sim::TimePs propagation_delay,
+                     std::unique_ptr<QueueDiscipline> queue)
+    : EgressPort(simulator, bw, propagation_delay), queue_(std::move(queue)) {}
+
+EgressPort::SelectResult BasicPort::try_select() {
+  SelectResult out;
+  out.pkt = queue_->pop();
+  return out;
+}
+
+}  // namespace powertcp::net

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "net/dt_buffer.hpp"
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "stats/timeseries.hpp"
+
+/// \file egress_port.hpp
+/// Egress ports drain their backlog at line rate, stamp INT records at
+/// the instant a data packet is scheduled for transmission (the paper's
+/// §3.3 semantics), apply RED/ECN marking at enqueue, and enforce the
+/// switch's shared-buffer admission (Dynamic Thresholds).
+
+namespace powertcp::net {
+
+class Node;
+
+/// RED-style ECN marking profile (DCQCN-compatible). With
+/// kmin == kmax the profile degenerates to DCTCP's step marking.
+struct EcnConfig {
+  bool enabled = false;
+  std::int64_t kmin_bytes = 0;
+  std::int64_t kmax_bytes = 0;
+  double pmax = 1.0;
+};
+
+class EgressPort {
+ public:
+  EgressPort(sim::Simulator& simulator, sim::Bandwidth bw,
+             sim::TimePs propagation_delay);
+  virtual ~EgressPort();
+
+  EgressPort(const EgressPort&) = delete;
+  EgressPort& operator=(const EgressPort&) = delete;
+
+  void set_peer(Node* peer, int peer_in_port) {
+    peer_ = peer;
+    peer_in_port_ = peer_in_port;
+  }
+  Node* peer() const { return peer_; }
+  int peer_in_port() const { return peer_in_port_; }
+
+  void set_ecn(const EcnConfig& cfg, std::uint64_t seed) {
+    ecn_ = cfg;
+    ecn_rng_ = sim::Rng(seed);
+  }
+  void set_int_enabled(bool on) { int_enabled_ = on; }
+  void set_shared_buffer(DtSharedBuffer* buf) { shared_buffer_ = buf; }
+
+  /// Admits (or drops) a packet and starts the transmitter if idle.
+  /// Returns false iff the packet was dropped by buffer admission.
+  bool enqueue(Packet pkt);
+
+  sim::Bandwidth bandwidth() const { return bandwidth_; }
+  void set_bandwidth(sim::Bandwidth bw) { bandwidth_ = bw; }
+  sim::TimePs propagation_delay() const { return propagation_; }
+
+  /// Backlog awaiting transmission (excludes the packet on the wire).
+  virtual std::int64_t queue_bytes() const = 0;
+
+  /// Queue length reported in INT records. Defaults to queue_bytes();
+  /// VOQ-based ports report only the backlog the stamped packet actually
+  /// contends with.
+  virtual std::int64_t int_qlen_bytes() const { return queue_bytes(); }
+
+  std::int64_t tx_bytes() const { return tx_bytes_; }
+  std::uint64_t tx_packets() const { return tx_packets_; }
+  std::uint64_t drops() const { return drops_; }
+  bool busy() const { return busy_; }
+
+  /// Optional monitoring hooks (not owned).
+  void set_queue_monitor(stats::QueueSeries* m) { queue_monitor_ = m; }
+  void set_tx_monitor(stats::ThroughputSeries* m) { tx_monitor_ = m; }
+  void set_sojourn_callback(std::function<void(sim::TimePs)> cb) {
+    sojourn_cb_ = std::move(cb);
+  }
+
+  /// Re-evaluates whether transmission can start (called after enqueues
+  /// and by subclasses when external conditions change, e.g. a circuit
+  /// day beginning).
+  void kick();
+
+ protected:
+  struct SelectResult {
+    std::optional<Packet> pkt;
+    /// When to retry if no packet was selectable; kTimeInfinity means
+    /// "wait for an explicit kick" (e.g. the next enqueue).
+    sim::TimePs retry_at = sim::kTimeInfinity;
+  };
+
+  /// Stores the packet in the discipline-specific backlog.
+  virtual void push_to_queue(Packet pkt) = 0;
+  /// Chooses the next packet to serialize, or a retry time.
+  virtual SelectResult try_select() = 0;
+
+  sim::Simulator& simulator() { return sim_; }
+  const sim::Simulator& simulator() const { return sim_; }
+
+ private:
+  void start_tx(Packet pkt);
+  void finish_tx(Packet pkt);
+  void maybe_mark_ecn(Packet& pkt) const;
+  void sample_queue();
+
+  sim::Simulator& sim_;
+  sim::Bandwidth bandwidth_;
+  sim::TimePs propagation_;
+  Node* peer_ = nullptr;
+  int peer_in_port_ = -1;
+
+  EcnConfig ecn_;
+  mutable sim::Rng ecn_rng_{0x9E3779B97F4A7C15ull};
+  bool int_enabled_ = false;
+  DtSharedBuffer* shared_buffer_ = nullptr;
+
+  bool busy_ = false;
+  std::int64_t tx_bytes_ = 0;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t drops_ = 0;
+
+  sim::TimePs pending_kick_at_ = sim::kTimeInfinity;
+  sim::EventId pending_kick_id_{};
+
+  stats::QueueSeries* queue_monitor_ = nullptr;
+  stats::ThroughputSeries* tx_monitor_ = nullptr;
+  std::function<void(sim::TimePs)> sojourn_cb_;
+};
+
+/// Port with a self-contained queueing discipline (FIFO or priority).
+class BasicPort final : public EgressPort {
+ public:
+  BasicPort(sim::Simulator& simulator, sim::Bandwidth bw,
+            sim::TimePs propagation_delay,
+            std::unique_ptr<QueueDiscipline> queue);
+
+  std::int64_t queue_bytes() const override { return queue_->bytes(); }
+  const QueueDiscipline& queue() const { return *queue_; }
+
+ protected:
+  void push_to_queue(Packet pkt) override { queue_->push(std::move(pkt)); }
+  SelectResult try_select() override;
+
+ private:
+  std::unique_ptr<QueueDiscipline> queue_;
+};
+
+}  // namespace powertcp::net

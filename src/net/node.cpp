@@ -1,0 +1,16 @@
+#include "net/node.hpp"
+
+#include "net/egress_port.hpp"
+
+namespace powertcp::net {
+
+Node::Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+Node::~Node() = default;
+
+int Node::attach_port(std::unique_ptr<EgressPort> port) {
+  ports_.push_back(std::move(port));
+  return static_cast<int>(ports_.size()) - 1;
+}
+
+}  // namespace powertcp::net

@@ -1,0 +1,22 @@
+#include "net/packet.hpp"
+
+namespace powertcp::net {
+
+Packet make_ack(const Packet& data, std::int64_t cumulative_ack) {
+  Packet ack;
+  ack.flow = data.flow;
+  ack.src = data.dst;
+  ack.dst = data.src;
+  ack.type = PacketType::kAck;
+  ack.payload_bytes = 0;
+  ack.header_bytes = kHeaderBytes;
+  ack.ack_seq = cumulative_ack;
+  ack.seq = data.seq;
+  ack.ecn_echo = data.ecn_marked;
+  ack.int_hdr = data.int_hdr;
+  ack.sent_time = data.sent_time;
+  ack.priority = 0;  // acks ride the highest priority
+  return ack;
+}
+
+}  // namespace powertcp::net

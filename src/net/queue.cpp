@@ -1,0 +1,101 @@
+#include "net/queue.hpp"
+
+#include <stdexcept>
+
+namespace powertcp::net {
+
+void FifoQueue::push(Packet pkt) {
+  bytes_ += pkt.wire_bytes();
+  q_.push_back(std::move(pkt));
+}
+
+std::optional<Packet> FifoQueue::pop() {
+  if (q_.empty()) return std::nullopt;
+  Packet pkt = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= pkt.wire_bytes();
+  return pkt;
+}
+
+const Packet* FifoQueue::peek_next() const {
+  return q_.empty() ? nullptr : &q_.front();
+}
+
+PriorityQueue::PriorityQueue(int bands) {
+  if (bands <= 0) throw std::invalid_argument("PriorityQueue: bands <= 0");
+  bands_.resize(static_cast<std::size_t>(bands));
+}
+
+void PriorityQueue::push(Packet pkt) {
+  const auto band =
+      static_cast<std::size_t>(pkt.priority) < bands_.size()
+          ? static_cast<std::size_t>(pkt.priority)
+          : bands_.size() - 1;
+  bytes_ += pkt.wire_bytes();
+  ++packets_;
+  bands_[band].push_back(std::move(pkt));
+}
+
+std::optional<Packet> PriorityQueue::pop() {
+  for (auto& band : bands_) {
+    if (!band.empty()) {
+      Packet pkt = std::move(band.front());
+      band.pop_front();
+      bytes_ -= pkt.wire_bytes();
+      --packets_;
+      return pkt;
+    }
+  }
+  return std::nullopt;
+}
+
+const Packet* PriorityQueue::peek_next() const {
+  for (const auto& band : bands_) {
+    if (!band.empty()) return &band.front();
+  }
+  return nullptr;
+}
+
+std::int64_t PriorityQueue::band_bytes(int band) const {
+  std::int64_t total = 0;
+  for (const Packet& p : bands_.at(static_cast<std::size_t>(band))) {
+    total += p.wire_bytes();
+  }
+  return total;
+}
+
+VoqSet::VoqSet(int n_queues, std::function<int(NodeId)> classify)
+    : classify_(std::move(classify)) {
+  if (n_queues <= 0) throw std::invalid_argument("VoqSet: n_queues <= 0");
+  queues_.resize(static_cast<std::size_t>(n_queues));
+  voq_bytes_.assign(static_cast<std::size_t>(n_queues), 0);
+}
+
+void VoqSet::push(Packet pkt) {
+  const int voq = classify_(pkt.dst);
+  if (voq < 0 || voq >= size()) {
+    throw std::out_of_range("VoqSet::push: classify returned bad index");
+  }
+  voq_bytes_[static_cast<std::size_t>(voq)] += pkt.wire_bytes();
+  total_bytes_ += pkt.wire_bytes();
+  ++total_packets_;
+  queues_[static_cast<std::size_t>(voq)].push_back(std::move(pkt));
+}
+
+std::optional<Packet> VoqSet::pop_from(int voq) {
+  auto& q = queues_.at(static_cast<std::size_t>(voq));
+  if (q.empty()) return std::nullopt;
+  Packet pkt = std::move(q.front());
+  q.pop_front();
+  voq_bytes_[static_cast<std::size_t>(voq)] -= pkt.wire_bytes();
+  total_bytes_ -= pkt.wire_bytes();
+  --total_packets_;
+  return pkt;
+}
+
+const Packet* VoqSet::peek(int voq) const {
+  const auto& q = queues_.at(static_cast<std::size_t>(voq));
+  return q.empty() ? nullptr : &q.front();
+}
+
+}  // namespace powertcp::net

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+
+/// \file queue.hpp
+/// Egress queueing disciplines: FIFO, strict priority (HOMA), and
+/// per-destination virtual output queues (reconfigurable DCN ToRs).
+
+namespace powertcp::net {
+
+/// Interface for an egress buffer. `pop` surrenders ownership of the
+/// selected packet; `peek_next` must agree with the packet `pop` would
+/// return (used to compute serialization time before committing).
+class QueueDiscipline {
+ public:
+  virtual ~QueueDiscipline() = default;
+
+  virtual void push(Packet pkt) = 0;
+  virtual std::optional<Packet> pop() = 0;
+  virtual const Packet* peek_next() const = 0;
+  virtual std::int64_t bytes() const = 0;
+  virtual std::size_t packets() const = 0;
+  bool empty() const { return packets() == 0; }
+};
+
+/// Plain FIFO.
+class FifoQueue final : public QueueDiscipline {
+ public:
+  void push(Packet pkt) override;
+  std::optional<Packet> pop() override;
+  const Packet* peek_next() const override;
+  std::int64_t bytes() const override { return bytes_; }
+  std::size_t packets() const override { return q_.size(); }
+
+ private:
+  std::deque<Packet> q_;
+  std::int64_t bytes_ = 0;
+};
+
+/// Strict-priority bands (0 = highest). HOMA maps unscheduled/scheduled
+/// traffic onto these; acks and grants ride band 0.
+class PriorityQueue final : public QueueDiscipline {
+ public:
+  explicit PriorityQueue(int bands = 8);
+
+  void push(Packet pkt) override;
+  std::optional<Packet> pop() override;
+  const Packet* peek_next() const override;
+  std::int64_t bytes() const override { return bytes_; }
+  std::size_t packets() const override { return packets_; }
+
+  std::int64_t band_bytes(int band) const;
+
+ private:
+  std::vector<std::deque<Packet>> bands_;
+  std::int64_t bytes_ = 0;
+  std::size_t packets_ = 0;
+};
+
+/// Per-destination-ToR virtual output queues shared between the circuit
+/// port and the packet-network uplink of an RDCN ToR. Both ports pull
+/// from this set; the selector policy lives in the ports.
+class VoqSet {
+ public:
+  /// `classify` maps a packet's destination node to a VOQ index
+  /// (destination ToR).
+  VoqSet(int n_queues, std::function<int(NodeId)> classify);
+
+  void push(Packet pkt);
+  std::optional<Packet> pop_from(int voq);
+  const Packet* peek(int voq) const;
+
+  std::int64_t voq_bytes(int voq) const { return voq_bytes_[static_cast<size_t>(voq)]; }
+  std::int64_t total_bytes() const { return total_bytes_; }
+  std::size_t total_packets() const { return total_packets_; }
+  int size() const { return static_cast<int>(queues_.size()); }
+  int classify(NodeId dst) const { return classify_(dst); }
+
+ private:
+  std::vector<std::deque<Packet>> queues_;
+  std::vector<std::int64_t> voq_bytes_;
+  std::int64_t total_bytes_ = 0;
+  std::size_t total_packets_ = 0;
+  std::function<int(NodeId)> classify_;
+};
+
+}  // namespace powertcp::net

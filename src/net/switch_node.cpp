@@ -1,0 +1,89 @@
+#include "net/switch_node.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace powertcp::net {
+namespace {
+
+/// SplitMix64 finalizer: decorrelates ECMP picks across switches so the
+/// same flow does not always take the "first" parallel link.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Switch::Switch(sim::Simulator& simulator, NodeId id, std::string name,
+               SwitchConfig cfg)
+    : Node(id, std::move(name)),
+      sim_(simulator),
+      cfg_(cfg),
+      buffer_(cfg.buffer_bytes, cfg.dt_alpha) {}
+
+int Switch::add_port(sim::Bandwidth bw, sim::TimePs propagation) {
+  std::unique_ptr<QueueDiscipline> q;
+  if (cfg_.priority_bands > 0) {
+    q = std::make_unique<PriorityQueue>(cfg_.priority_bands);
+  } else {
+    q = std::make_unique<FifoQueue>();
+  }
+  auto port = std::make_unique<BasicPort>(sim_, bw, propagation, std::move(q));
+  port->set_shared_buffer(&buffer_);
+  port->set_int_enabled(cfg_.int_enabled);
+  if (cfg_.ecn.enabled) {
+    EcnConfig ecn = cfg_.ecn;
+    if (cfg_.ecn_per_gbps) {
+      const double gbps = bw.gbps_value();
+      ecn.kmin_bytes = static_cast<std::int64_t>(
+          static_cast<double>(ecn.kmin_bytes) * gbps);
+      ecn.kmax_bytes = static_cast<std::int64_t>(
+          static_cast<double>(ecn.kmax_bytes) * gbps);
+    }
+    // Seed deterministically from (switch id, port index).
+    const auto seed = mix64((static_cast<std::uint64_t>(id()) << 16) |
+                            static_cast<std::uint64_t>(port_count()));
+    port->set_ecn(ecn, seed);
+  }
+  return attach_port(std::move(port));
+}
+
+void Switch::set_routes(NodeId dst, std::vector<int> ports) {
+  if (ports.empty()) {
+    throw std::invalid_argument("Switch::set_routes: empty port set");
+  }
+  routes_[dst] = std::move(ports);
+}
+
+const std::vector<int>* Switch::routes_to(NodeId dst) const {
+  const auto it = routes_.find(dst);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+std::size_t Switch::ecmp_index(FlowId flow, std::size_t n) const {
+  if (n <= 1) return 0;
+  return static_cast<std::size_t>(
+             mix64(flow ^ (static_cast<std::uint64_t>(id()) * 0xD6E8FEB8ull))) %
+         n;
+}
+
+void Switch::receive(Packet pkt, int /*in_port*/) {
+  const auto* choices = routes_to(pkt.dst);
+  if (choices == nullptr) {
+    throw std::logic_error("Switch '" + name() + "': no route to node " +
+                           std::to_string(pkt.dst));
+  }
+  const std::size_t pick = ecmp_index(pkt.flow, choices->size());
+  port((*choices)[pick]).enqueue(std::move(pkt));
+}
+
+std::uint64_t Switch::total_drops() const {
+  std::uint64_t total = 0;
+  for (int i = 0; i < port_count(); ++i) total += port(i).drops();
+  return total;
+}
+
+}  // namespace powertcp::net

@@ -1,0 +1,52 @@
+#include "sim/simulator.hpp"
+
+namespace powertcp::sim {
+
+EventId Simulator::schedule_at(TimePs t, Callback cb) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time " +
+                                format_time(t) + " is before now " +
+                                format_time(now_));
+  }
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Event{t, seq, std::move(cb)});
+  ++live_events_;
+  return EventId{seq};
+}
+
+bool Simulator::pop_and_run_next(TimePs limit) {
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (top.time > limit) return false;
+    // Lazy-cancelled events are discarded without executing.
+    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --live_events_;
+      heap_.pop();
+      continue;
+    }
+    Event ev{top.time, top.seq, std::move(const_cast<Event&>(top).cb)};
+    heap_.pop();
+    --live_events_;
+    now_ = ev.time;
+    ++executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && pop_and_run_next(kTimeInfinity)) {
+  }
+}
+
+void Simulator::run_until(TimePs t) {
+  stopped_ = false;
+  while (!stopped_ && pop_and_run_next(t)) {
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+}  // namespace powertcp::sim

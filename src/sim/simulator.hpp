@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file simulator.hpp
+/// Deterministic discrete-event engine.
+///
+/// Events scheduled for the same timestamp execute in scheduling order
+/// (FIFO tie-break on a monotonically increasing sequence number), so a
+/// run is a pure function of its inputs and RNG seed. This determinism is
+/// relied on by the regression tests, which compare whole packet traces
+/// across runs.
+
+namespace powertcp::sim {
+
+/// Handle for a scheduled event; usable with Simulator::cancel().
+struct EventId {
+  std::uint64_t seq = 0;
+  constexpr bool operator==(const EventId&) const = default;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  TimePs now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t`. `t` must not be in the past.
+  EventId schedule_at(TimePs t, Callback cb);
+
+  /// Schedules `cb` after `delay` (>= 0) from now.
+  EventId schedule_in(TimePs delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown
+  /// event is a harmless no-op (lazy deletion).
+  void cancel(EventId id) { cancelled_.insert(id.seq); }
+
+  /// Runs until the event queue drains or stop() is called.
+  void run();
+
+  /// Runs events with time <= `t`; afterwards now() == t unless stopped
+  /// earlier. Events scheduled beyond `t` remain pending.
+  void run_until(TimePs t);
+
+  /// Stops the run loop after the current event returns.
+  void stop() { stopped_ = true; }
+
+  bool pending() const { return live_events_ > 0; }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePs time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run_next(TimePs limit);
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  TimePs now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::uint64_t live_events_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace powertcp::sim

@@ -1,0 +1,26 @@
+#include "sim/time.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace powertcp::sim {
+
+std::string format_time(TimePs t) {
+  std::array<char, 48> buf{};
+  if (t == kTimeInfinity) return "inf";
+  if (t < kPsPerNs) {
+    std::snprintf(buf.data(), buf.size(), "%ldps", static_cast<long>(t));
+  } else if (t < kPsPerUs) {
+    std::snprintf(buf.data(), buf.size(), "%.3fns",
+                  static_cast<double>(t) / kPsPerNs);
+  } else if (t < kPsPerMs) {
+    std::snprintf(buf.data(), buf.size(), "%.3fus", to_microseconds(t));
+  } else if (t < kPsPerSec) {
+    std::snprintf(buf.data(), buf.size(), "%.3fms", to_milliseconds(t));
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.6fs", to_seconds(t));
+  }
+  return std::string(buf.data());
+}
+
+}  // namespace powertcp::sim

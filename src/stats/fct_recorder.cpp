@@ -1,0 +1,47 @@
+#include "stats/fct_recorder.hpp"
+
+namespace powertcp::stats {
+
+const std::vector<SizeBucket>& paper_size_buckets() {
+  static const std::vector<SizeBucket> kBuckets = {
+      {5'000, "5K"},      {20'000, "20K"},   {50'000, "50K"},
+      {100'000, "100K"},  {400'000, "400K"}, {800'000, "800K"},
+      {5'000'000, "5M"},  {30'000'000, "30M"},
+  };
+  return kBuckets;
+}
+
+void FctRecorder::record(const FlowRecord& r) { flows_.push_back(r); }
+
+Samples FctRecorder::slowdowns_in_range(std::int64_t lo_bytes,
+                                        std::int64_t hi_bytes) const {
+  Samples s;
+  for (const auto& f : flows_) {
+    if (f.size_bytes > lo_bytes && f.size_bytes <= hi_bytes) {
+      s.add(f.slowdown());
+    }
+  }
+  return s;
+}
+
+Samples FctRecorder::all_slowdowns() const {
+  Samples s;
+  s.reserve(flows_.size());
+  for (const auto& f : flows_) s.add(f.slowdown());
+  return s;
+}
+
+std::vector<double> FctRecorder::bucket_percentiles(double p) const {
+  const auto& buckets = paper_size_buckets();
+  std::vector<double> out;
+  out.reserve(buckets.size());
+  std::int64_t lo = 0;
+  for (const auto& b : buckets) {
+    const Samples s = slowdowns_in_range(lo, b.upper_bytes);
+    out.push_back(s.empty() ? -1.0 : s.percentile(p));
+    lo = b.upper_bytes;
+  }
+  return out;
+}
+
+}  // namespace powertcp::stats

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/percentiles.hpp"
+
+/// \file fct_recorder.hpp
+/// Flow-completion-time bookkeeping in the paper's reporting format:
+/// per-flow *slowdown* (measured FCT / ideal FCT at line rate with zero
+/// queuing), bucketed by flow size exactly as the x-axis of Figs. 6a/6b.
+
+namespace powertcp::stats {
+
+struct FlowRecord {
+  std::uint64_t flow_id = 0;
+  std::int64_t size_bytes = 0;
+  sim::TimePs start = 0;
+  sim::TimePs finish = 0;
+  sim::TimePs ideal = 0;  ///< size/line-rate + base RTT.
+  double slowdown() const {
+    return ideal > 0 ? static_cast<double>(finish - start) /
+                           static_cast<double>(ideal)
+                     : 0.0;
+  }
+};
+
+/// Size-bucket boundaries used by the paper's FCT figures
+/// (5K 20K 50K 100K 400K 800K 5M 30M).
+struct SizeBucket {
+  std::int64_t upper_bytes;  ///< inclusive upper edge
+  std::string label;
+};
+
+const std::vector<SizeBucket>& paper_size_buckets();
+
+class FctRecorder {
+ public:
+  void record(const FlowRecord& r);
+
+  std::size_t flow_count() const { return flows_.size(); }
+  const std::vector<FlowRecord>& flows() const { return flows_; }
+
+  /// Slowdown samples for flows with size in (lo, hi].
+  Samples slowdowns_in_range(std::int64_t lo_bytes,
+                             std::int64_t hi_bytes) const;
+
+  /// Slowdown samples for every flow.
+  Samples all_slowdowns() const;
+
+  /// Short flows, paper definition: < 10 KB.
+  Samples short_flow_slowdowns() const {
+    return slowdowns_in_range(0, 10'000);
+  }
+  /// Long flows, paper definition: >= 1 MB.
+  Samples long_flow_slowdowns() const {
+    return slowdowns_in_range(1'000'000, INT64_MAX);
+  }
+
+  /// Per-bucket percentile row matching the Fig. 6 x-axis. Buckets with
+  /// no samples report -1.
+  std::vector<double> bucket_percentiles(double p) const;
+
+ private:
+  std::vector<FlowRecord> flows_;
+};
+
+}  // namespace powertcp::stats

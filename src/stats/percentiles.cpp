@@ -1,0 +1,89 @@
+#include "stats/percentiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace powertcp::stats {
+
+void Samples::add(double v) {
+  values_.push_back(v);
+  sorted_valid_ = false;
+}
+
+void Samples::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = values_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Samples::min() const {
+  ensure_sorted();
+  if (sorted_.empty()) throw std::logic_error("Samples::min: no samples");
+  return sorted_.front();
+}
+
+double Samples::max() const {
+  ensure_sorted();
+  if (sorted_.empty()) throw std::logic_error("Samples::max: no samples");
+  return sorted_.back();
+}
+
+double Samples::mean() const {
+  if (values_.empty()) throw std::logic_error("Samples::mean: no samples");
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::percentile(double p) const {
+  ensure_sorted();
+  if (sorted_.empty()) {
+    throw std::logic_error("Samples::percentile: no samples");
+  }
+  if (p <= 0.0) return sorted_.front();
+  if (p >= 100.0) return sorted_.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double Samples::cdf_at(double x) const {
+  ensure_sorted();
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>> Samples::cdf_curve(
+    std::size_t points) const {
+  ensure_sorted();
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double frac =
+        points == 1 ? 1.0
+                    : static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto idx = static_cast<std::size_t>(
+        frac * static_cast<double>(sorted_.size() - 1));
+    out.emplace_back(sorted_[idx],
+                     static_cast<double>(idx + 1) /
+                         static_cast<double>(sorted_.size()));
+  }
+  return out;
+}
+
+}  // namespace powertcp::stats

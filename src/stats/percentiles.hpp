@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+/// \file percentiles.hpp
+/// Order statistics over collected samples: percentiles and empirical CDFs.
+/// Used to report the paper's p99.9 flow-completion-time slowdowns
+/// (Figs. 6-7) and buffer-occupancy CDFs (Figs. 7g/7h).
+
+namespace powertcp::stats {
+
+/// Accumulates double samples; computes exact percentiles by sorting on
+/// demand (sort is cached until the next insertion).
+class Samples {
+ public:
+  void add(double v);
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+
+  /// Exact percentile with linear interpolation; p in [0, 100].
+  /// Precondition: at least one sample.
+  double percentile(double p) const;
+
+  /// Empirical CDF evaluated at `x`: fraction of samples <= x.
+  double cdf_at(double x) const;
+
+  /// (value, cumulative fraction) pairs at `points` evenly spaced ranks,
+  /// suitable for plotting the full CDF curve.
+  std::vector<std::pair<double, double>> cdf_curve(std::size_t points) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace powertcp::stats

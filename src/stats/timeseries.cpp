@@ -1,0 +1,59 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+
+namespace powertcp::stats {
+
+void ThroughputSeries::add_bytes(sim::TimePs when, std::int64_t bytes) {
+  if (when < origin_) return;
+  const auto bin = static_cast<std::size_t>((when - origin_) / bin_width_);
+  if (bin >= bins_.size()) bins_.resize(bin + 1, 0);
+  bins_[bin] += bytes;
+}
+
+double ThroughputSeries::gbps(std::size_t i) const {
+  if (i >= bins_.size()) return 0.0;
+  const double secs = sim::to_seconds(bin_width_);
+  return static_cast<double>(bins_[i]) * 8.0 / secs / 1e9;
+}
+
+double ThroughputSeries::mean_gbps(std::size_t from_bin,
+                                   std::size_t to_bin) const {
+  if (from_bin >= to_bin) return 0.0;
+  double total = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = from_bin; i < to_bin && i < bins_.size(); ++i) {
+    total += gbps(i);
+    ++n;
+  }
+  return n > 0 ? total / static_cast<double>(n) : 0.0;
+}
+
+std::int64_t QueueSeries::at(sim::TimePs t) const {
+  // points_ is chronologically ordered because simulation time only
+  // moves forward.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](sim::TimePs v, const Point& p) { return v < p.t; });
+  if (it == points_.begin()) return 0;
+  return std::prev(it)->bytes;
+}
+
+double QueueSeries::time_weighted_mean(sim::TimePs from,
+                                       sim::TimePs to) const {
+  if (to <= from || points_.empty()) return 0.0;
+  double area = 0.0;
+  std::int64_t level = at(from);
+  sim::TimePs cursor = from;
+  for (const auto& p : points_) {
+    if (p.t <= from) continue;
+    if (p.t >= to) break;
+    area += static_cast<double>(level) * sim::to_seconds(p.t - cursor);
+    level = p.bytes;
+    cursor = p.t;
+  }
+  area += static_cast<double>(level) * sim::to_seconds(to - cursor);
+  return area / sim::to_seconds(to - from);
+}
+
+}  // namespace powertcp::stats

@@ -1,0 +1,85 @@
+#include "workload/flow_size_dist.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace powertcp::workload {
+
+FlowSizeDistribution::FlowSizeDistribution(
+    std::vector<std::pair<std::int64_t, double>> points,
+    std::int64_t min_bytes)
+    : points_(std::move(points)), min_bytes_(min_bytes) {
+  if (points_.empty()) {
+    throw std::invalid_argument("FlowSizeDistribution: empty CDF");
+  }
+  double prev_cdf = 0.0;
+  std::int64_t prev_bytes = min_bytes_ - 1;
+  for (const auto& [bytes, cdf] : points_) {
+    if (bytes <= prev_bytes || cdf < prev_cdf || cdf > 1.0) {
+      throw std::invalid_argument(
+          "FlowSizeDistribution: CDF must be strictly increasing in bytes "
+          "and non-decreasing in probability");
+    }
+    prev_bytes = bytes;
+    prev_cdf = cdf;
+  }
+  if (points_.back().second < 1.0 - 1e-12) {
+    throw std::invalid_argument("FlowSizeDistribution: CDF must end at 1");
+  }
+}
+
+FlowSizeDistribution FlowSizeDistribution::websearch() {
+  return FlowSizeDistribution(
+      {
+          {10'000, 0.15},
+          {20'000, 0.20},
+          {30'000, 0.30},
+          {50'000, 0.40},
+          {80'000, 0.53},
+          {200'000, 0.60},
+          {1'000'000, 0.70},
+          {2'000'000, 0.80},
+          {5'000'000, 0.90},
+          {10'000'000, 0.97},
+          {30'000'000, 1.00},
+      },
+      /*min_bytes=*/1'000);
+}
+
+FlowSizeDistribution FlowSizeDistribution::fixed(std::int64_t bytes) {
+  return FlowSizeDistribution({{bytes, 1.0}}, bytes);
+}
+
+std::int64_t FlowSizeDistribution::sample(sim::Rng& rng) const {
+  const double u = rng.uniform();
+  double lo_cdf = 0.0;
+  double lo_bytes = static_cast<double>(min_bytes_);
+  for (const auto& [bytes, cdf] : points_) {
+    if (u <= cdf) {
+      const double span = cdf - lo_cdf;
+      const double frac = span > 0 ? (u - lo_cdf) / span : 1.0;
+      const double v =
+          lo_bytes + frac * (static_cast<double>(bytes) - lo_bytes);
+      return std::max<std::int64_t>(min_bytes_,
+                                    static_cast<std::int64_t>(std::llround(v)));
+    }
+    lo_cdf = cdf;
+    lo_bytes = static_cast<double>(bytes);
+  }
+  return points_.back().first;
+}
+
+double FlowSizeDistribution::mean_bytes() const {
+  double mean = 0.0;
+  double lo_cdf = 0.0;
+  double lo_bytes = static_cast<double>(min_bytes_);
+  for (const auto& [bytes, cdf] : points_) {
+    const double mass = cdf - lo_cdf;
+    mean += mass * (lo_bytes + static_cast<double>(bytes)) / 2.0;
+    lo_cdf = cdf;
+    lo_bytes = static_cast<double>(bytes);
+  }
+  return mean;
+}
+
+}  // namespace powertcp::workload

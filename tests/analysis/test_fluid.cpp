@@ -1,0 +1,238 @@
+/// Property tests for the fluid model, the motivation figures' algebra
+/// (Fig. 2), and the Appendix A theorems.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/control_law.hpp"
+#include "analysis/fluid_model.hpp"
+#include "analysis/theorems.hpp"
+
+namespace powertcp::analysis {
+namespace {
+
+FluidParams params100g() {
+  FluidParams p;
+  p.bandwidth_Bps = 100e9 / 8.0;
+  p.base_rtt_s = 20e-6;
+  p.gamma = 0.9;
+  p.update_interval_s = 20e-6;
+  p.beta_bytes = 0.01 * p.bdp_bytes();
+  return p;
+}
+
+// ------------------------------------------------------------ Fig. 2 math
+
+TEST(FeedbackRatio, VoltageLawsIgnoreBuildupRate) {
+  const FluidParams p = params100g();
+  const double q = 25'000;
+  const double r1 = feedback_ratio(LawType::kQueueLength, p, q, 0.0,
+                                   p.bandwidth_Bps);
+  const double r2 = feedback_ratio(LawType::kQueueLength, p, q,
+                                   8 * p.bandwidth_Bps, p.bandwidth_Bps);
+  EXPECT_DOUBLE_EQ(r1, r2);
+}
+
+TEST(FeedbackRatio, CurrentLawIgnoresQueueLength) {
+  const FluidParams p = params100g();
+  const double qdot = 2 * p.bandwidth_Bps;
+  const double r1 =
+      feedback_ratio(LawType::kRttGradient, p, 0.0, qdot, p.bandwidth_Bps);
+  const double r2 = feedback_ratio(LawType::kRttGradient, p, 1'000'000,
+                                   qdot, p.bandwidth_Bps);
+  EXPECT_DOUBLE_EQ(r1, r2);
+}
+
+TEST(FeedbackRatio, PowerIsProductOfBothDimensions) {
+  const FluidParams p = params100g();
+  const double q = 50'000;
+  const double qdot = 3 * p.bandwidth_Bps;
+  const double v =
+      feedback_ratio(LawType::kQueueLength, p, q, qdot, p.bandwidth_Bps);
+  const double c =
+      feedback_ratio(LawType::kRttGradient, p, q, qdot, p.bandwidth_Bps);
+  const double pw =
+      feedback_ratio(LawType::kPower, p, q, qdot, p.bandwidth_Bps);
+  EXPECT_NEAR(pw, v * c, 1e-12);
+}
+
+TEST(FeedbackRatio, DelayAndQueueLawsCoincide) {
+  const FluidParams p = params100g();
+  EXPECT_NEAR(
+      feedback_ratio(LawType::kQueueLength, p, 70'000, 0, p.bandwidth_Bps),
+      feedback_ratio(LawType::kDelay, p, 70'000, 0, p.bandwidth_Bps),
+      1e-12);
+}
+
+TEST(FeedbackRatio, PaperFigTwoCValues) {
+  // b·τ = 22.32 packets of 1 KB: the paper's printed decrease factors.
+  FluidParams p;
+  p.bandwidth_Bps = 25e9 / 8.0;
+  p.base_rtt_s = 22.32 * 1000.0 / p.bandwidth_Bps;
+  const double b = p.bandwidth_Bps;
+  EXPECT_NEAR(feedback_ratio(LawType::kQueueLength, p, 50'000, 8 * b, b),
+              3.24, 0.01);
+  EXPECT_NEAR(feedback_ratio(LawType::kQueueLength, p, 25'000, 0, b), 2.12,
+              0.01);
+  EXPECT_NEAR(feedback_ratio(LawType::kRttGradient, p, 25'000, 8 * b, b),
+              9.0, 1e-9);
+  EXPECT_NEAR(feedback_ratio(LawType::kRttGradient, p, 25'000, 0, b), 1.0,
+              1e-9);
+}
+
+// --------------------------------------------------------- fluid dynamics
+
+TEST(FluidModel, QueueGrowsWhenWindowExceedsBdp) {
+  const FluidModel m(LawType::kPower, params100g());
+  const FluidState s{2 * params100g().bdp_bytes(), 0.0};
+  EXPECT_GT(m.queue_derivative(s), 0.0);
+}
+
+TEST(FluidModel, EmptyQueueCannotDrainNegative) {
+  const FluidModel m(LawType::kPower, params100g());
+  const FluidState s{0.1 * params100g().bdp_bytes(), 0.0};
+  EXPECT_DOUBLE_EQ(m.queue_derivative(s), 0.0);
+}
+
+TEST(FluidModel, ServiceRateCapsAtBandwidth) {
+  const FluidModel m(LawType::kPower, params100g());
+  const FluidState congested{5 * params100g().bdp_bytes(), 1'000'000.0};
+  EXPECT_DOUBLE_EQ(m.service_rate(congested), params100g().bandwidth_Bps);
+  const FluidState idle{0.5 * params100g().bdp_bytes(), 0.0};
+  EXPECT_LT(m.service_rate(idle), params100g().bandwidth_Bps);
+}
+
+TEST(FluidModel, RkStepMatchesClosedFormForPowerLaw) {
+  // For the power law the window ODE is linear:
+  // ẇ = γ_r (bτ + β̂ − w). Compare RK4 against the exact solution.
+  const FluidParams p = params100g();
+  const FluidModel m(LawType::kPower, p);
+  FluidState s{3 * p.bdp_bytes(), 2 * p.bdp_bytes()};
+  const double h = 1e-7;
+  double t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    s = m.step(s, h);
+    t += h;
+  }
+  EXPECT_NEAR(s.w_bytes, power_tcp_window_solution(p, 3 * p.bdp_bytes(), t),
+              p.bdp_bytes() * 0.01);
+}
+
+TEST(FluidModel, VoltageAndPowerSettleAtAnalyticEquilibrium) {
+  for (const LawType law : {LawType::kQueueLength, LawType::kPower}) {
+    const FluidParams p = params100g();
+    const FluidModel m(law, p);
+    const FluidState eq = m.analytic_equilibrium();
+    const FluidState settled =
+        m.settle({2 * p.bdp_bytes(), 0.5 * p.bdp_bytes()}, 0.02);
+    EXPECT_NEAR(settled.w_bytes, eq.w_bytes, eq.w_bytes * 0.02)
+        << law_name(law);
+    EXPECT_NEAR(settled.q_bytes, eq.q_bytes, p.bdp_bytes() * 0.02)
+        << law_name(law);
+  }
+}
+
+TEST(FluidModel, GradientLawFinalQueueDependsOnInitialState) {
+  const FluidParams p = params100g();
+  const FluidModel m(LawType::kRttGradient, p);
+  const FluidState a = m.settle({0.5 * p.bdp_bytes(), 0.0}, 0.02);
+  const FluidState b = m.settle({4.0 * p.bdp_bytes(), p.bdp_bytes()}, 0.02);
+  EXPECT_GT(std::abs(a.q_bytes - b.q_bytes), 0.5 * p.bdp_bytes());
+}
+
+TEST(FluidModel, PowerLawNeverUndershootsBdpFromAbove) {
+  const FluidParams p = params100g();
+  const FluidModel m(LawType::kPower, p);
+  const auto traj =
+      m.trajectory({4 * p.bdp_bytes(), 2 * p.bdp_bytes()}, 2e-3, 2e-7, 1e-5);
+  for (const auto& pt : traj) {
+    if (pt.t > 5 * p.base_rtt_s) {
+      EXPECT_GE(pt.inflight_bytes, 0.97 * p.bdp_bytes()) << "at t=" << pt.t;
+    }
+  }
+}
+
+TEST(FluidModel, VoltageLawOvershootsBelowBdp) {
+  // The overreaction of Fig. 3a: starting from a congested state the
+  // queue-length law drives inflight below BDP (throughput loss).
+  const FluidParams p = params100g();
+  const FluidModel m(LawType::kQueueLength, p);
+  const auto traj =
+      m.trajectory({4 * p.bdp_bytes(), 2 * p.bdp_bytes()}, 2e-3, 2e-7, 1e-5);
+  double min_inflight = 1e300;
+  for (const auto& pt : traj) {
+    if (pt.t > 5 * p.base_rtt_s) {
+      min_inflight = std::min(min_inflight, pt.inflight_bytes);
+    }
+  }
+  EXPECT_LT(min_inflight, 0.9 * p.bdp_bytes());
+}
+
+// -------------------------------------------------------------- theorems
+
+TEST(Theorems, EigenvaluesAreNegative) {
+  const auto eig = power_tcp_eigenvalues(params100g());
+  EXPECT_LT(eig[0], 0.0);
+  EXPECT_LT(eig[1], 0.0);
+  EXPECT_NEAR(eig[0], -1.0 / 20e-6, 1e-6);
+  EXPECT_NEAR(eig[1], -0.9 / 20e-6, 1e-6);
+}
+
+TEST(Theorems, ConvergenceTimeConstantIsDtOverGamma) {
+  // Fit the decay of a simulated trajectory; expect δt/γ = 22.2 us.
+  const FluidParams p = params100g();
+  const FluidModel m(LawType::kPower, p);
+  std::vector<double> times, windows;
+  FluidState s{3 * p.bdp_bytes(), 2 * p.bdp_bytes()};
+  const double h = 1e-7;
+  // Skip the initial transient where the queue still couples in.
+  for (int i = 0; i < 4000; ++i) {
+    s = m.step(s, h);
+    times.push_back(i * h);
+    windows.push_back(s.w_bytes);
+  }
+  const double w_e = p.bdp_bytes() + p.beta_bytes;
+  const double fitted = fit_decay_time_constant(times, windows, w_e);
+  EXPECT_NEAR(fitted, p.update_interval_s / p.gamma,
+              p.update_interval_s * 0.15);
+}
+
+TEST(Theorems, FiveUpdateIntervalsReachNinetyNinePercent) {
+  // Theorem 2's corollary: after 5·δt/γ the error has decayed 99.3%.
+  const FluidParams p = params100g();
+  const double w0 = 4 * p.bdp_bytes();
+  const double w_e = p.bdp_bytes() + p.beta_bytes;
+  const double t = 5 * p.update_interval_s / p.gamma;
+  const double w = power_tcp_window_solution(p, w0, t);
+  EXPECT_LT(std::abs(w - w_e) / std::abs(w0 - w_e), 0.01);
+}
+
+TEST(Theorems, FairnessWeightsScaleEquilibriumWindows) {
+  const FluidParams p = params100g();
+  const double beta_hat = 3'000.0;
+  const double w1 = fair_share_window(p, beta_hat, 1'000.0);
+  const double w2 = fair_share_window(p, beta_hat, 2'000.0);
+  EXPECT_NEAR(w2 / w1, 2.0, 1e-12);
+  // Windows sum to the aggregate equilibrium b·τ + β̂.
+  EXPECT_NEAR(w1 + w2, p.bdp_bytes() + beta_hat, 1e-6);
+}
+
+TEST(Theorems, PowerEqualsBandwidthTimesWindow) {
+  // Property 1: Γ = b·w holds exactly in the fluid model for any state.
+  const FluidParams p = params100g();
+  for (const double w : {0.2, 1.0, 3.7}) {
+    for (const double q : {0.0, 0.4, 2.5}) {
+      const FluidState s{w * p.bdp_bytes(), q * p.bdp_bytes()};
+      EXPECT_LT(power_property_error(p, s), 1e-12);
+    }
+  }
+}
+
+TEST(Theorems, DecayFitRejectsShortInput) {
+  EXPECT_THROW(fit_decay_time_constant({1.0}, {1.0}, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powertcp::analysis

@@ -1,0 +1,123 @@
+#include "cc/classic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powertcp::cc {
+namespace {
+
+FlowParams params25g() {
+  FlowParams p;
+  p.host_bw = sim::Bandwidth::gbps(25);
+  p.base_rtt = sim::microseconds(20);
+  return p;
+}
+
+AckContext ack(sim::TimePs now, std::int64_t acked, std::int64_t ack_seq,
+               std::int64_t snd_nxt) {
+  AckContext c;
+  c.now = now;
+  c.rtt = sim::microseconds(25);
+  c.acked_bytes = acked;
+  c.ack_seq = ack_seq;
+  c.snd_nxt = snd_nxt;
+  return c;
+}
+
+TEST(NewReno, SlowStartDoublesPerRtt) {
+  NewReno algo(params25g());
+  EXPECT_TRUE(algo.in_slow_start());
+  const double w0 = algo.cwnd();
+  // One window's worth of acks in slow start: cwnd grows by the acked
+  // bytes, i.e. doubles.
+  double acked = 0;
+  std::int64_t seq = 0;
+  while (acked < w0) {
+    seq += 1000;
+    algo.on_ack(ack(sim::microseconds(1), 1000, seq, seq + 20'000));
+    acked += 1000;
+  }
+  EXPECT_NEAR(algo.cwnd(), 2 * w0, 1000);
+}
+
+TEST(NewReno, TripleDupackHalves) {
+  NewReno algo(params25g());
+  // Leave slow start by pushing cwnd past ssthresh via timeout+growth.
+  algo.on_ack(ack(0, 1000, 1000, 50'000));
+  const double before = algo.cwnd();
+  // Three duplicate acks at the same cumulative sequence.
+  algo.on_ack(ack(1, 0, 1000, 50'000));
+  algo.on_ack(ack(2, 0, 1000, 50'000));
+  algo.on_ack(ack(3, 0, 1000, 50'000));
+  EXPECT_NEAR(algo.cwnd(), before / 2, 1.0);
+}
+
+TEST(NewReno, OnlyOneReductionPerWindow) {
+  NewReno algo(params25g());
+  algo.on_ack(ack(0, 1000, 1000, 50'000));
+  for (int i = 0; i < 3; ++i) algo.on_ack(ack(i + 1, 0, 1000, 50'000));
+  const double after_first = algo.cwnd();
+  // Continued dupacks within the same recovery window: no further cut.
+  for (int i = 0; i < 5; ++i) algo.on_ack(ack(i + 5, 0, 1000, 50'000));
+  EXPECT_DOUBLE_EQ(algo.cwnd(), after_first);
+}
+
+TEST(NewReno, CongestionAvoidanceAddsOneMssPerRtt) {
+  NewReno algo(params25g());
+  algo.on_timeout();  // ssthresh = cwnd/2 = 5000, cwnd = 1000
+  // Grow past ssthresh, then measure CA growth over one window.
+  std::int64_t seq = 0;
+  while (algo.in_slow_start()) {
+    seq += 1000;
+    algo.on_ack(ack(seq, 1000, seq, seq + 50'000));
+  }
+  const double w = algo.cwnd();
+  double acked = 0;
+  while (acked < w) {
+    seq += 1000;
+    algo.on_ack(ack(seq, 1000, seq, seq + 50'000));
+    acked += 1000;
+  }
+  EXPECT_NEAR(algo.cwnd(), w + 1000, 150);
+}
+
+TEST(NewReno, TimeoutCollapsesToOneMss) {
+  NewReno algo(params25g());
+  algo.on_timeout();
+  EXPECT_DOUBLE_EQ(algo.cwnd(), 1000.0);
+}
+
+TEST(Cubic, GrowsTowardWmaxPlateau) {
+  Cubic algo(params25g());
+  // Force a loss epoch at a known W_max.
+  algo.on_ack(ack(0, 1000, 1000, 90'000));
+  for (int i = 0; i < 3; ++i) algo.on_ack(ack(i + 1, 0, 1000, 90'000));
+  const double after_cut = algo.cwnd();
+  EXPECT_NEAR(after_cut, algo.w_max() * 0.7, algo.w_max() * 0.02);
+  // Feed acks over time: the window must climb back toward W_max.
+  std::int64_t seq = 1000;
+  for (int i = 1; i <= 400; ++i) {
+    seq += 1000;
+    algo.on_ack(ack(sim::microseconds(25) * i, 1000, seq, seq + 90'000));
+  }
+  EXPECT_GT(algo.cwnd(), after_cut);
+  EXPECT_GE(algo.w_max(), after_cut);
+}
+
+TEST(Cubic, TimeoutResetsEpoch) {
+  Cubic algo(params25g());
+  algo.on_timeout();
+  EXPECT_DOUBLE_EQ(algo.cwnd(), 1000.0);
+}
+
+TEST(Cubic, DupackCutUsesBeta) {
+  CubicConfig cfg;
+  cfg.beta = 0.5;
+  Cubic algo(params25g(), cfg);
+  algo.on_ack(ack(0, 1000, 1000, 90'000));
+  const double before = algo.cwnd();
+  for (int i = 0; i < 3; ++i) algo.on_ack(ack(i + 1, 0, 1000, 90'000));
+  EXPECT_NEAR(algo.cwnd(), before * 0.5, 1.0);
+}
+
+}  // namespace
+}  // namespace powertcp::cc

@@ -1,0 +1,155 @@
+#include "cc/hpcc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powertcp::cc {
+namespace {
+
+FlowParams params25g() {
+  FlowParams p;
+  p.host_bw = sim::Bandwidth::gbps(25);
+  p.base_rtt = sim::microseconds(20);
+  p.expected_flows = 10;
+  return p;
+}
+
+net::IntHeader hop(sim::TimePs ts, std::int64_t qlen, std::int64_t tx) {
+  net::IntHeader h;
+  net::IntHopRecord rec;
+  rec.ts = ts;
+  rec.qlen_bytes = qlen;
+  rec.tx_bytes = tx;
+  rec.bandwidth_bps = 25e9;
+  h.push(rec);
+  return h;
+}
+
+AckContext ctx_at(sim::TimePs now, const net::IntHeader* h,
+                  std::int64_t ack_seq, std::int64_t snd_nxt) {
+  AckContext c;
+  c.now = now;
+  c.rtt = sim::microseconds(20);
+  c.acked_bytes = 1000;
+  c.ack_seq = ack_seq;
+  c.snd_nxt = snd_nxt;
+  c.int_hdr = h;
+  return c;
+}
+
+TEST(Hpcc, StartsAtLineRate) {
+  Hpcc algo(params25g());
+  EXPECT_DOUBLE_EQ(algo.initial().cwnd_bytes, 62'500.0);
+}
+
+TEST(Hpcc, UtilizationMatchesHandComputation) {
+  // Full-rate hop with zero queue over 10us: u = 0 + 1.0 = 1.0;
+  // U = 0.5*1.0(init) + 0.5*1.0 = 1.0.
+  Hpcc algo(params25g());
+  const net::IntHeader h0 = hop(0, 0, 0);
+  algo.on_ack(ctx_at(0, &h0, 0, 1000));
+  const net::IntHeader h1 = hop(sim::microseconds(10), 0, 31'250);
+  algo.on_ack(ctx_at(sim::microseconds(10), &h1, 1000, 2000));
+  EXPECT_NEAR(algo.utilization(), 1.0, 1e-9);
+}
+
+TEST(Hpcc, OverUtilizationCutsMultiplicatively) {
+  // U = 1 >= eta: W = Wc/(U/eta) + W_AI = 62500*0.95 + 312.5.
+  Hpcc algo(params25g());
+  const net::IntHeader h0 = hop(0, 0, 0);
+  algo.on_ack(ctx_at(0, &h0, 0, 1000));
+  const net::IntHeader h1 = hop(sim::microseconds(10), 0, 31'250);
+  const CcDecision d =
+      algo.on_ack(ctx_at(sim::microseconds(10), &h1, 1000, 2000));
+  EXPECT_NEAR(d.cwnd_bytes, 62'500.0 * 0.95 + 312.5, 1e-6);
+}
+
+TEST(Hpcc, QueueTermUsesMinOfSamples) {
+  // min(qlen_now, qlen_prev) guards against drained transients: a queue
+  // that was 0 before must not contribute.
+  Hpcc algo(params25g());
+  const net::IntHeader h0 = hop(0, 0, 0);
+  algo.on_ack(ctx_at(0, &h0, 0, 1000));
+  // Huge instantaneous queue, but previous sample 0 and half-rate tx:
+  // u = 0 + 0.5.
+  const net::IntHeader h1 = hop(sim::microseconds(10), 1'000'000, 15'625);
+  algo.on_ack(ctx_at(sim::microseconds(10), &h1, 1000, 2000));
+  EXPECT_NEAR(algo.utilization(), 0.5 * 1.0 + 0.5 * 0.5, 1e-9);
+}
+
+TEST(Hpcc, AdditiveIncreaseBelowEta) {
+  HpccConfig acfg;
+  acfg.max_cwnd_bdp = 2.0;  // keep the clamp from hiding the increase
+  Hpcc algo(params25g(), acfg);
+  const net::IntHeader h0 = hop(0, 0, 0);
+  algo.on_ack(ctx_at(0, &h0, 0, 1000));
+  // Low utilization (25% of rate, no queue).
+  net::IntHeader h = hop(sim::microseconds(10), 0, 7'812);
+  algo.on_ack(ctx_at(sim::microseconds(10), &h, 1000, 2000));
+  // First reaction can be multiplicative only if U >= eta; here U =
+  // 0.5 + 0.125 = 0.625 < 0.95 -> W = Wc + W_AI.
+  EXPECT_NEAR(algo.cwnd(), 62'500.0 + 312.5, 1e-6);
+}
+
+TEST(Hpcc, MaxStageForcesMultiplicativeCatchUp) {
+  // After max_stage additive rounds at low U, HPCC switches to the
+  // multiplicative branch, which *raises* the window when U < eta.
+  HpccConfig cfg;
+  cfg.max_stage = 2;
+  cfg.max_cwnd_bdp = 10.0;  // keep the clamp out of the way
+  Hpcc algo(params25g(), cfg);
+  const net::IntHeader h0 = hop(0, 0, 0);
+  algo.on_ack(ctx_at(0, &h0, 0, 1000));
+  double last = algo.cwnd();
+  double prev_increment = 0;
+  for (int i = 1; i <= 3; ++i) {
+    const auto t = sim::microseconds(10) * i;
+    const net::IntHeader h = hop(t, 0, 7'812 * i);
+    // Each ack crosses the per-RTT boundary (ack_seq > lastUpdateSeq).
+    algo.on_ack(ctx_at(t, &h, i * 2000, i * 2000 + 500));
+    const double inc = algo.cwnd() - last;
+    if (i == 3) {
+      // Two additive rounds exhausted max_stage; round three takes the
+      // multiplicative branch with U << eta.
+      EXPECT_GT(inc, prev_increment * 2);
+    }
+    prev_increment = inc;
+    last = algo.cwnd();
+  }
+}
+
+TEST(Hpcc, ReferenceWindowUpdatesOncePerRtt) {
+  Hpcc algo(params25g());
+  const net::IntHeader h0 = hop(0, 0, 0);
+  algo.on_ack(ctx_at(0, &h0, 0, 10'000));
+  const net::IntHeader h1 = hop(sim::microseconds(10), 31'250, 31'250);
+  algo.on_ack(ctx_at(sim::microseconds(10), &h1, 1'000, 10'000));
+  const double w1 = algo.cwnd();
+  // Second ack in the same RTT window: W recomputed from the *same* Wc,
+  // so the window cannot compound.
+  const net::IntHeader h2 = hop(sim::microseconds(12), 31'250, 37'500);
+  algo.on_ack(ctx_at(sim::microseconds(12), &h2, 2'000, 11'000));
+  EXPECT_NEAR(algo.cwnd(), w1, w1 * 0.10);
+}
+
+TEST(Hpcc, WindowNeverExceedsInitNorDropsBelowWai) {
+  Hpcc algo(params25g());
+  const net::IntHeader h0 = hop(0, 0, 0);
+  algo.on_ack(ctx_at(0, &h0, 0, 1000));
+  // Monster congestion for many rounds.
+  for (int i = 1; i < 50; ++i) {
+    const auto t = sim::microseconds(10) * i;
+    const net::IntHeader h = hop(t, 500'000, 31'250 * i);
+    algo.on_ack(ctx_at(t, &h, i * 1000, i * 1000 + 500));
+  }
+  EXPECT_GE(algo.cwnd(), 312.5 - 1e-9);
+  EXPECT_LE(algo.cwnd(), 62'500.0 + 1e-9);
+}
+
+TEST(Hpcc, TimeoutHalves) {
+  Hpcc algo(params25g());
+  algo.on_timeout();
+  EXPECT_DOUBLE_EQ(algo.cwnd(), 31'250.0);
+}
+
+}  // namespace
+}  // namespace powertcp::cc

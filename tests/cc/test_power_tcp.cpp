@@ -1,0 +1,235 @@
+#include "cc/power_tcp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powertcp::cc {
+namespace {
+
+/// τ = 20 us at 25 Gbps: BDP = 62 500 B, e = b²τ = 1.953 125e14 B²/s.
+FlowParams params25g() {
+  FlowParams p;
+  p.host_bw = sim::Bandwidth::gbps(25);
+  p.base_rtt = sim::microseconds(20);
+  p.expected_flows = 10;
+  return p;
+}
+
+net::IntHeader hop(sim::TimePs ts, std::int64_t qlen, std::int64_t tx,
+                   double bw = 25e9) {
+  net::IntHeader h;
+  net::IntHopRecord rec;
+  rec.ts = ts;
+  rec.qlen_bytes = qlen;
+  rec.tx_bytes = tx;
+  rec.bandwidth_bps = bw;
+  h.push(rec);
+  return h;
+}
+
+AckContext ctx_at(sim::TimePs now, const net::IntHeader* h,
+                  std::int64_t ack_seq, std::int64_t snd_nxt) {
+  AckContext c;
+  c.now = now;
+  c.rtt = sim::microseconds(20);
+  c.acked_bytes = 1000;
+  c.ack_seq = ack_seq;
+  c.snd_nxt = snd_nxt;
+  c.int_hdr = h;
+  return c;
+}
+
+TEST(PowerTcp, StartsAtLineRateWithBdpWindow) {
+  PowerTcp algo(params25g());
+  const CcDecision d = algo.initial();
+  EXPECT_DOUBLE_EQ(d.cwnd_bytes, 62'500.0);
+  EXPECT_DOUBLE_EQ(d.pacing_bps, 25e9);
+}
+
+TEST(PowerTcp, NoIntFeedbackKeepsWindow) {
+  PowerTcp algo(params25g());
+  AckContext c = ctx_at(0, nullptr, 1000, 2000);
+  const CcDecision d = algo.on_ack(c);
+  EXPECT_DOUBLE_EQ(d.cwnd_bytes, 62'500.0);
+}
+
+TEST(PowerTcp, FirstIntAckOnlyPrimesState) {
+  PowerTcp algo(params25g());
+  const net::IntHeader h = hop(0, 0, 0);
+  const CcDecision d = algo.on_ack(ctx_at(0, &h, 1000, 2000));
+  EXPECT_DOUBLE_EQ(d.cwnd_bytes, 62'500.0);
+  EXPECT_DOUBLE_EQ(algo.smoothed_power(), 1.0);
+}
+
+/// The exact normalized power of the two-sample INT sequence used in
+/// the hand-computation tests: q: 0 -> 10 KB and tx: 0 -> 31 250 B over
+/// 10 us at 25 Gbps (q̇ = 1e9 B/s, µ = b = 3.125e9 B/s), smoothed with
+/// Δt/τ = 0.5 from the initial estimate of 1.0.
+double expected_smoothed_power() {
+  const double b = 3.125e9;                         // bytes/s
+  const double lambda = 1e9 + b;                    // q̇ + µ
+  const double nu = 10'000.0 + b * 20e-6;           // q + b·τ
+  const double norm = lambda * nu / (b * b * 20e-6);  // Γ′ / e
+  return 0.5 * 1.0 + 0.5 * norm;
+}
+
+TEST(PowerTcp, NormPowerMatchesHandComputation) {
+  PowerTcp algo(params25g());
+  const net::IntHeader h0 = hop(0, 0, 0);
+  algo.on_ack(ctx_at(0, &h0, 1000, 2000));
+  const net::IntHeader h1 = hop(sim::microseconds(10), 10'000, 31'250);
+  algo.on_ack(ctx_at(sim::microseconds(10), &h1, 2000, 3000));
+  EXPECT_NEAR(algo.smoothed_power(), expected_smoothed_power(), 1e-9);
+}
+
+TEST(PowerTcp, WindowUpdateFollowsControlLaw) {
+  // With the state above: w <- γ(w_old/Γ_norm + β) + (1−γ)w.
+  PowerTcp algo(params25g());
+  const net::IntHeader h0 = hop(0, 0, 0);
+  algo.on_ack(ctx_at(0, &h0, 1000, 2000));
+  const net::IntHeader h1 = hop(sim::microseconds(10), 10'000, 31'250);
+  const CcDecision d =
+      algo.on_ack(ctx_at(sim::microseconds(10), &h1, 2000, 3000));
+  const double expected =
+      0.9 * (62'500.0 / expected_smoothed_power() + 6'250.0) +
+      0.1 * 62'500.0;
+  EXPECT_NEAR(d.cwnd_bytes, expected, 1e-6);
+  // Pacing follows rate = cwnd/τ (Alg. 1 line 6).
+  EXPECT_NEAR(d.pacing_bps, expected / 20e-6 * 8.0, 1e-3);
+}
+
+TEST(PowerTcp, CongestionShrinksWindowIdleGrowsIt) {
+  PowerTcp algo(params25g());
+  net::IntHeader prev = hop(0, 0, 0);
+  algo.on_ack(ctx_at(0, &prev, 1000, 2000));
+  // Heavy congestion: queue ramps hard while the link is saturated.
+  const net::IntHeader congested =
+      hop(sim::microseconds(10), 200'000, 31'250);
+  const double before = algo.cwnd();
+  algo.on_ack(ctx_at(sim::microseconds(10), &congested, 2000, 3000));
+  EXPECT_LT(algo.cwnd(), before);
+
+  // Idle link: no queue, tiny transmit rate -> power far below 1 ->
+  // multiplicative increase.
+  PowerTcp algo2(params25g());
+  const net::IntHeader i0 = hop(0, 0, 0);
+  algo2.on_ack(ctx_at(0, &i0, 1000, 2000));
+  const net::IntHeader idle = hop(sim::microseconds(10), 0, 7'812);
+  const double before2 = algo2.cwnd();
+  // Start from a small window to observe growth (clamp is at BDP).
+  algo2.on_timeout();  // halves to 31250
+  algo2.on_ack(ctx_at(sim::microseconds(10), &idle, 2000, 3000));
+  EXPECT_GT(algo2.cwnd(), before2 / 2.0);
+}
+
+TEST(PowerTcp, EquilibriumIsFixedPoint) {
+  // At Γ_norm = 1 the update w <- γ(w_old + β) + (1-γ)w has fixed point
+  // w* = w_old + β when w_old tracks w. Feed a steady full-rate,
+  // zero-queue signal and check the window settles near BDP + β-driven
+  // growth clamped at max_cwnd.
+  PowerTcp algo(params25g());
+  net::IntHeader prev = hop(0, 0, 0);
+  algo.on_ack(ctx_at(0, &prev, 0, 1000));
+  for (int i = 1; i <= 200; ++i) {
+    const auto t = sim::microseconds(20) * i;
+    // Full utilization, zero queue: Γ_norm = 1 exactly.
+    const net::IntHeader h =
+        hop(t, 0, static_cast<std::int64_t>(3.125e9 * sim::to_seconds(t)));
+    algo.on_ack(ctx_at(t, &h, i * 1000, i * 1000 + 1000));
+  }
+  EXPECT_NEAR(algo.smoothed_power(), 1.0, 1e-6);
+  // β keeps pushing up; the clamp holds the window at one BDP.
+  EXPECT_NEAR(algo.cwnd(), 62'500.0, 1.0);
+}
+
+TEST(PowerTcp, WindowClampedToConfiguredBdpMultiple) {
+  PowerTcpConfig cfg;
+  cfg.max_cwnd_bdp = 2.0;
+  PowerTcp algo(params25g(), cfg);
+  net::IntHeader prev = hop(0, 0, 0);
+  algo.on_ack(ctx_at(0, &prev, 0, 1000));
+  // Absurdly idle feedback would explode the window without the clamp.
+  for (int i = 0; i < 20; ++i) {
+    const auto t = sim::microseconds(10) * (i + 2);
+    const net::IntHeader h = hop(t, 0, i + 2);
+    algo.on_ack(ctx_at(t, &h, i * 1000, i * 1000 + 1000));
+  }
+  EXPECT_LE(algo.cwnd(), 2.0 * 62'500.0 + 1e-9);
+}
+
+TEST(PowerTcp, PerRttModeUpdatesOncePerWindow) {
+  PowerTcpConfig cfg;
+  cfg.per_rtt_update = true;
+  PowerTcp algo(params25g(), cfg);
+  net::IntHeader prev = hop(0, 0, 0);
+  algo.on_ack(ctx_at(0, &prev, 500, 10'000));  // primes; snd_nxt = 10000
+  const net::IntHeader h1 = hop(sim::microseconds(5), 100'000, 15'625);
+  algo.on_ack(ctx_at(sim::microseconds(5), &h1, 1'000, 10'000));
+  const double after_first = algo.cwnd();
+  EXPECT_LT(after_first, 62'500.0);
+  // Acks within the same window (ack_seq <= snd_nxt at update) are
+  // absorbed into smoothing but do not move the window again.
+  const net::IntHeader h2 = hop(sim::microseconds(10), 150'000, 31'250);
+  algo.on_ack(ctx_at(sim::microseconds(10), &h2, 2'000, 11'000));
+  EXPECT_DOUBLE_EQ(algo.cwnd(), after_first);
+  // Crossing the boundary (ack_seq > 10'000) updates again.
+  const net::IntHeader h3 = hop(sim::microseconds(15), 150'000, 46'875);
+  algo.on_ack(ctx_at(sim::microseconds(15), &h3, 10'500, 12'000));
+  EXPECT_NE(algo.cwnd(), after_first);
+}
+
+TEST(PowerTcp, MaxOverHopsPicksTheBottleneck) {
+  // Two hops: hop 0 uncongested, hop 1 congested. The normalized power
+  // must reflect hop 1.
+  PowerTcp algo(params25g());
+  net::IntHeader prev;
+  net::IntHopRecord r0;
+  r0.ts = 0;
+  r0.bandwidth_bps = 25e9;
+  prev.push(r0);
+  prev.push(r0);
+  algo.on_ack(ctx_at(0, &prev, 0, 1000));
+
+  net::IntHeader cur;
+  net::IntHopRecord h0 = r0;
+  h0.ts = sim::microseconds(10);
+  h0.qlen_bytes = 0;
+  h0.tx_bytes = 31'250;  // exactly full rate, zero queue: norm 1.0
+  net::IntHopRecord h1 = h0;
+  h1.qlen_bytes = 62'500;  // standing queue: norm 2x at full rate
+  cur.push(h0);
+  cur.push(h1);
+  algo.on_ack(ctx_at(sim::microseconds(10), &cur, 1000, 2000));
+  // smoothed = 0.5*1.0 + 0.5*max(1.0, ~3.0) -> must exceed 1.5.
+  EXPECT_GT(algo.smoothed_power(), 1.5);
+}
+
+TEST(PowerTcp, TimeoutHalvesWindow) {
+  PowerTcp algo(params25g());
+  algo.on_timeout();
+  EXPECT_DOUBLE_EQ(algo.cwnd(), 31'250.0);
+}
+
+TEST(PowerTcp, HopCountChangeReprimes) {
+  PowerTcp algo(params25g());
+  const net::IntHeader one = hop(0, 0, 0);
+  algo.on_ack(ctx_at(0, &one, 0, 1000));
+  net::IntHeader two = hop(sim::microseconds(5), 100'000, 1'000'000);
+  two.push(two.hop(0));
+  // Path change: no window update, just re-prime.
+  const double before = algo.cwnd();
+  algo.on_ack(ctx_at(sim::microseconds(5), &two, 1000, 2000));
+  EXPECT_DOUBLE_EQ(algo.cwnd(), before);
+}
+
+TEST(PowerTcp, BetaDefaultsToBdpOverN) {
+  // With N = 10 the fixed point under Γ_norm = 1 drifts by β = 6250
+  // per update until the clamp. Indirectly verified by the control-law
+  // test above; here check the derived initial window is independent.
+  FlowParams p = params25g();
+  p.expected_flows = 5;
+  PowerTcp algo(p);
+  EXPECT_DOUBLE_EQ(algo.initial().cwnd_bytes, 62'500.0);
+}
+
+}  // namespace
+}  // namespace powertcp::cc

@@ -1,0 +1,111 @@
+#include "cc/theta_power_tcp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powertcp::cc {
+namespace {
+
+FlowParams params25g() {
+  FlowParams p;
+  p.host_bw = sim::Bandwidth::gbps(25);
+  p.base_rtt = sim::microseconds(20);
+  p.expected_flows = 10;
+  return p;
+}
+
+AckContext ctx(sim::TimePs now, sim::TimePs rtt, std::int64_t ack_seq,
+               std::int64_t snd_nxt) {
+  AckContext c;
+  c.now = now;
+  c.rtt = rtt;
+  c.acked_bytes = 1000;
+  c.ack_seq = ack_seq;
+  c.snd_nxt = snd_nxt;
+  return c;
+}
+
+TEST(ThetaPowerTcp, StartsAtLineRate) {
+  ThetaPowerTcp algo(params25g());
+  EXPECT_DOUBLE_EQ(algo.initial().cwnd_bytes, 62'500.0);
+  EXPECT_DOUBLE_EQ(algo.initial().pacing_bps, 25e9);
+}
+
+TEST(ThetaPowerTcp, FirstAckPrimes) {
+  ThetaPowerTcp algo(params25g());
+  algo.on_ack(ctx(0, sim::microseconds(20), 1000, 2000));
+  EXPECT_DOUBLE_EQ(algo.cwnd(), 62'500.0);
+  EXPECT_DOUBLE_EQ(algo.smoothed_power(), 1.0);
+}
+
+TEST(ThetaPowerTcp, NormPowerFromRttAndGradient) {
+  // θ̇ = (30us - 20us)/10us = 1; Γ_norm = (1+1)*30/20 = 3;
+  // smoothed over Δt/τ = 0.5: 0.5*1 + 0.5*3 = 2.
+  ThetaPowerTcp algo(params25g());
+  algo.on_ack(ctx(0, sim::microseconds(20), 1000, 2000));
+  algo.on_ack(ctx(sim::microseconds(10), sim::microseconds(30), 2000, 3000));
+  EXPECT_NEAR(algo.smoothed_power(), 2.0, 1e-9);
+}
+
+TEST(ThetaPowerTcp, WindowUpdateMatchesControlLaw) {
+  // With Γ_smooth = 2: w <- 0.9*(62500/2 + 6250) + 0.1*62500 = 40000.
+  ThetaPowerTcp algo(params25g());
+  algo.on_ack(ctx(0, sim::microseconds(20), 1000, 2000));
+  const CcDecision d =
+      algo.on_ack(ctx(sim::microseconds(10), sim::microseconds(30), 2000,
+                      3000));
+  EXPECT_NEAR(d.cwnd_bytes, 40'000.0, 1e-6);
+}
+
+TEST(ThetaPowerTcp, UpdatesOnlyOncePerRtt) {
+  ThetaPowerTcp algo(params25g());
+  algo.on_ack(ctx(0, sim::microseconds(20), 500, 10'000));
+  algo.on_ack(ctx(sim::microseconds(10), sim::microseconds(30), 1'000,
+                  10'000));
+  const double w = algo.cwnd();
+  // ack_seq below the update boundary: smoothing continues, window holds.
+  algo.on_ack(ctx(sim::microseconds(20), sim::microseconds(40), 2'000,
+                  11'000));
+  EXPECT_DOUBLE_EQ(algo.cwnd(), w);
+  // Next window boundary crossed.
+  algo.on_ack(ctx(sim::microseconds(30), sim::microseconds(40), 10'500,
+                  12'000));
+  EXPECT_NE(algo.cwnd(), w);
+}
+
+TEST(ThetaPowerTcp, SteadyBaseRttIsEquilibrium) {
+  // Constant RTT at τ: θ̇ = 0, Γ_norm = 1 -> window drifts up by β until
+  // the clamp at one BDP.
+  ThetaPowerTcp algo(params25g());
+  for (int i = 0; i <= 60; ++i) {
+    algo.on_ack(ctx(sim::microseconds(20) * i, sim::microseconds(20),
+                    i * 1000, i * 1000 + 500));
+  }
+  EXPECT_NEAR(algo.smoothed_power(), 1.0, 1e-9);
+  EXPECT_NEAR(algo.cwnd(), 62'500.0, 1.0);
+}
+
+TEST(ThetaPowerTcp, RisingRttShrinksWindow) {
+  ThetaPowerTcp algo(params25g());
+  algo.on_ack(ctx(0, sim::microseconds(20), 0, 500));
+  for (int i = 1; i <= 10; ++i) {
+    algo.on_ack(ctx(sim::microseconds(10) * i,
+                    sim::microseconds(20 + 10 * i), i * 1000,
+                    i * 1000 + 500));
+  }
+  EXPECT_LT(algo.cwnd(), 62'500.0 / 2);
+}
+
+TEST(ThetaPowerTcp, TimeoutHalvesWindow) {
+  ThetaPowerTcp algo(params25g());
+  algo.on_timeout();
+  EXPECT_DOUBLE_EQ(algo.cwnd(), 31'250.0);
+}
+
+TEST(ThetaPowerTcp, ZeroRttIgnored) {
+  ThetaPowerTcp algo(params25g());
+  const CcDecision d = algo.on_ack(ctx(0, 0, 1000, 2000));
+  EXPECT_DOUBLE_EQ(d.cwnd_bytes, 62'500.0);
+}
+
+}  // namespace
+}  // namespace powertcp::cc

@@ -1,0 +1,145 @@
+#include "host/homa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "host/host.hpp"
+#include "net/network.hpp"
+#include "topo/dumbbell.hpp"
+
+namespace powertcp::host {
+namespace {
+
+struct HomaFixture : ::testing::Test {
+  sim::Simulator simulator;
+  net::Network network{simulator};
+  topo::DumbbellConfig cfg;
+  std::unique_ptr<topo::Dumbbell> topo;
+  HomaConfig hc;
+
+  void build(int senders = 2, int overcommit = 1) {
+    cfg.n_senders = senders;
+    cfg.priority_bands = 8;
+    topo = std::make_unique<topo::Dumbbell>(network, cfg);
+    hc.rtt_bytes = cfg.host_bw.bdp_bytes(topo->base_rtt());
+    hc.overcommit = overcommit;
+    for (int i = 0; i < senders; ++i) topo->sender(i).enable_homa(hc);
+    topo->receiver().enable_homa(hc);
+  }
+};
+
+TEST_F(HomaFixture, SmallMessageDeliversFully) {
+  build();
+  MessageCompletion done{};
+  topo->receiver().homa()->set_message_callback(
+      [&done](const MessageCompletion& c) { done = c; });
+  topo->sender(0).homa()->send_message(1, topo->receiver().id(), 5'000);
+  simulator.run_until(sim::milliseconds(1));
+  EXPECT_EQ(done.message, 1u);
+  EXPECT_EQ(done.size_bytes, 5'000);
+  EXPECT_GT(done.finish, done.start);
+}
+
+TEST_F(HomaFixture, LargeMessageNeedsGrantsAndCompletes) {
+  build();
+  MessageCompletion done{};
+  topo->receiver().homa()->set_message_callback(
+      [&done](const MessageCompletion& c) { done = c; });
+  const std::int64_t size = 20 * hc.rtt_bytes;
+  topo->sender(0).homa()->send_message(1, topo->receiver().id(), size);
+  simulator.run_until(sim::milliseconds(10));
+  EXPECT_EQ(done.size_bytes, size);
+  // Sender state must be cleaned up by the final grant.
+  EXPECT_EQ(topo->sender(0).homa()->active_outgoing(), 0);
+  EXPECT_EQ(topo->receiver().homa()->active_incoming(), 0);
+}
+
+TEST_F(HomaFixture, UnscheduledPriorityTracksMessageSize) {
+  build();
+  HomaTransport* t = topo->sender(0).homa();
+  EXPECT_LT(t->unscheduled_priority(5'000),
+            t->unscheduled_priority(100'000));
+  EXPECT_LE(t->unscheduled_priority(100'000),
+            t->unscheduled_priority(50'000'000));
+  EXPECT_GE(t->unscheduled_priority(1'000), 1);  // band 0 is for grants
+}
+
+TEST_F(HomaFixture, SrptFavorsShortMessages) {
+  // Start a long message, then a short one: the short one must finish
+  // well before the long one despite arriving later.
+  build(2);
+  sim::TimePs long_done = 0, short_done = 0;
+  topo->receiver().homa()->set_message_callback(
+      [&](const MessageCompletion& c) {
+        if (c.message == 1) long_done = c.finish;
+        if (c.message == 2) short_done = c.finish;
+      });
+  topo->sender(0).homa()->send_message(1, topo->receiver().id(),
+                                       5'000'000);
+  simulator.schedule_at(sim::microseconds(100), [this] {
+    topo->sender(1).homa()->send_message(2, topo->receiver().id(),
+                                         200'000);
+  });
+  simulator.run_until(sim::milliseconds(20));
+  ASSERT_GT(long_done, 0);
+  ASSERT_GT(short_done, 0);
+  EXPECT_LT(short_done, long_done);
+}
+
+TEST_F(HomaFixture, OvercommitGrantsMultipleSendersConcurrently) {
+  build(3, /*overcommit=*/3);
+  int completed = 0;
+  topo->receiver().homa()->set_message_callback(
+      [&completed](const MessageCompletion&) { ++completed; });
+  for (int i = 0; i < 3; ++i) {
+    topo->sender(i).homa()->send_message(static_cast<net::FlowId>(i + 1),
+                                         topo->receiver().id(),
+                                         30 * hc.rtt_bytes);
+  }
+  simulator.run_until(sim::milliseconds(20));
+  EXPECT_EQ(completed, 3);
+}
+
+TEST_F(HomaFixture, CompletionsArriveWithOvercommitOne) {
+  build(3, /*overcommit=*/1);
+  int completed = 0;
+  topo->receiver().homa()->set_message_callback(
+      [&completed](const MessageCompletion&) { ++completed; });
+  for (int i = 0; i < 3; ++i) {
+    topo->sender(i).homa()->send_message(static_cast<net::FlowId>(i + 1),
+                                         topo->receiver().id(),
+                                         30 * hc.rtt_bytes);
+  }
+  simulator.run_until(sim::milliseconds(30));
+  EXPECT_EQ(completed, 3);
+}
+
+TEST_F(HomaFixture, RecoversFromBufferDrops) {
+  cfg.buffer_bytes = 15'000;  // tiny switch buffer
+  build(4);
+  int completed = 0;
+  topo->receiver().homa()->set_message_callback(
+      [&completed](const MessageCompletion&) { ++completed; });
+  // Four synchronized senders overwhelm the bottleneck's buffer.
+  for (int i = 0; i < 4; ++i) {
+    topo->sender(i).homa()->send_message(static_cast<net::FlowId>(i + 1),
+                                         topo->receiver().id(), 100'000);
+  }
+  simulator.run_until(sim::milliseconds(100));
+  EXPECT_GT(topo->bottleneck_switch().total_drops(), 0u);
+  EXPECT_EQ(completed, 4) << "resend requests must fill the holes";
+}
+
+TEST_F(HomaFixture, MessageStartEchoedFromSender) {
+  build();
+  MessageCompletion done{};
+  topo->receiver().homa()->set_message_callback(
+      [&done](const MessageCompletion& c) { done = c; });
+  simulator.schedule_at(sim::microseconds(77), [this] {
+    topo->sender(0).homa()->send_message(9, topo->receiver().id(), 2'000);
+  });
+  simulator.run_until(sim::milliseconds(1));
+  EXPECT_EQ(done.start, sim::microseconds(77));
+}
+
+}  // namespace
+}  // namespace powertcp::host

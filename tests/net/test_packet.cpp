@@ -1,0 +1,80 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powertcp::net {
+namespace {
+
+TEST(IntHeader, StartsEmpty) {
+  IntHeader h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0);
+}
+
+TEST(IntHeader, PushAppendsInOrder) {
+  IntHeader h;
+  for (int i = 0; i < 3; ++i) {
+    IntHopRecord rec;
+    rec.qlen_bytes = i * 100;
+    h.push(rec);
+  }
+  ASSERT_EQ(h.size(), 3);
+  EXPECT_EQ(h.hop(0).qlen_bytes, 0);
+  EXPECT_EQ(h.hop(2).qlen_bytes, 200);
+}
+
+TEST(IntHeader, OverflowThrows) {
+  IntHeader h;
+  for (int i = 0; i < kMaxIntHops; ++i) h.push(IntHopRecord{});
+  EXPECT_THROW(h.push(IntHopRecord{}), std::length_error);
+}
+
+TEST(IntHeader, ClearResets) {
+  IntHeader h;
+  h.push(IntHopRecord{});
+  h.clear();
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(Packet, WireBytesIncludesHeader) {
+  Packet p;
+  p.payload_bytes = 1000;
+  EXPECT_EQ(p.wire_bytes(), 1000 + kHeaderBytes);
+}
+
+TEST(MakeAck, SwapsEndpointsAndEchoes) {
+  Packet data;
+  data.flow = 77;
+  data.src = 1;
+  data.dst = 2;
+  data.seq = 5000;
+  data.payload_bytes = 1000;
+  data.ecn_marked = true;
+  data.sent_time = sim::microseconds(3);
+  IntHopRecord rec;
+  rec.qlen_bytes = 1234;
+  data.int_hdr.push(rec);
+
+  const Packet ack = make_ack(data, 6000);
+  EXPECT_EQ(ack.type, PacketType::kAck);
+  EXPECT_EQ(ack.flow, 77u);
+  EXPECT_EQ(ack.src, 2);
+  EXPECT_EQ(ack.dst, 1);
+  EXPECT_EQ(ack.ack_seq, 6000);
+  EXPECT_EQ(ack.seq, 5000);
+  EXPECT_TRUE(ack.ecn_echo);
+  EXPECT_EQ(ack.sent_time, sim::microseconds(3));
+  ASSERT_EQ(ack.int_hdr.size(), 1);
+  EXPECT_EQ(ack.int_hdr.hop(0).qlen_bytes, 1234);
+  EXPECT_EQ(ack.payload_bytes, 0);
+  EXPECT_EQ(ack.priority, 0);
+}
+
+TEST(MakeAck, UnmarkedDataYieldsNoEcho) {
+  Packet data;
+  data.ecn_marked = false;
+  EXPECT_FALSE(make_ack(data, 0).ecn_echo);
+}
+
+}  // namespace
+}  // namespace powertcp::net

@@ -1,0 +1,126 @@
+#include "net/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powertcp::net {
+namespace {
+
+Packet pkt(FlowId flow, std::int32_t payload, std::uint8_t prio = 0,
+           NodeId dst = 0) {
+  Packet p;
+  p.flow = flow;
+  p.payload_bytes = payload;
+  p.priority = prio;
+  p.dst = dst;
+  return p;
+}
+
+TEST(FifoQueue, PopsInArrivalOrder) {
+  FifoQueue q;
+  q.push(pkt(1, 100));
+  q.push(pkt(2, 100));
+  EXPECT_EQ(q.pop()->flow, 1u);
+  EXPECT_EQ(q.pop()->flow, 2u);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(FifoQueue, TracksBytesIncludingHeaders) {
+  FifoQueue q;
+  q.push(pkt(1, 1000));
+  EXPECT_EQ(q.bytes(), 1000 + kHeaderBytes);
+  q.push(pkt(2, 500));
+  EXPECT_EQ(q.bytes(), 1500 + 2 * kHeaderBytes);
+  q.pop();
+  EXPECT_EQ(q.bytes(), 500 + kHeaderBytes);
+}
+
+TEST(FifoQueue, PeekMatchesPop) {
+  FifoQueue q;
+  q.push(pkt(9, 100));
+  ASSERT_NE(q.peek_next(), nullptr);
+  EXPECT_EQ(q.peek_next()->flow, 9u);
+  EXPECT_EQ(q.pop()->flow, 9u);
+  EXPECT_EQ(q.peek_next(), nullptr);
+}
+
+TEST(PriorityQueue, LowerBandWins) {
+  PriorityQueue q(8);
+  q.push(pkt(1, 100, 5));
+  q.push(pkt(2, 100, 1));
+  q.push(pkt(3, 100, 3));
+  EXPECT_EQ(q.pop()->flow, 2u);
+  EXPECT_EQ(q.pop()->flow, 3u);
+  EXPECT_EQ(q.pop()->flow, 1u);
+}
+
+TEST(PriorityQueue, FifoWithinBand) {
+  PriorityQueue q(8);
+  q.push(pkt(1, 100, 2));
+  q.push(pkt(2, 100, 2));
+  EXPECT_EQ(q.pop()->flow, 1u);
+  EXPECT_EQ(q.pop()->flow, 2u);
+}
+
+TEST(PriorityQueue, OutOfRangePriorityClampsToLowest) {
+  PriorityQueue q(4);
+  q.push(pkt(1, 100, 200));
+  q.push(pkt(2, 100, 3));
+  // Both land in band 3 -> FIFO.
+  EXPECT_EQ(q.pop()->flow, 1u);
+}
+
+TEST(PriorityQueue, AggregateAccounting) {
+  PriorityQueue q(8);
+  q.push(pkt(1, 100, 0));
+  q.push(pkt(2, 200, 7));
+  EXPECT_EQ(q.packets(), 2u);
+  EXPECT_EQ(q.bytes(), 300 + 2 * kHeaderBytes);
+  EXPECT_EQ(q.band_bytes(7), 200 + kHeaderBytes);
+  q.pop();
+  EXPECT_EQ(q.packets(), 1u);
+}
+
+TEST(PriorityQueue, RejectsNonPositiveBands) {
+  EXPECT_THROW(PriorityQueue(0), std::invalid_argument);
+}
+
+TEST(VoqSet, ClassifiesByDestination) {
+  // Even node ids -> VOQ 0, odd -> VOQ 1.
+  VoqSet v(2, [](NodeId n) { return static_cast<int>(n % 2); });
+  v.push(pkt(1, 100, 0, /*dst=*/4));
+  v.push(pkt(2, 100, 0, /*dst=*/5));
+  EXPECT_EQ(v.voq_bytes(0), 100 + kHeaderBytes);
+  EXPECT_EQ(v.voq_bytes(1), 100 + kHeaderBytes);
+  EXPECT_EQ(v.pop_from(0)->flow, 1u);
+  EXPECT_EQ(v.pop_from(1)->flow, 2u);
+}
+
+TEST(VoqSet, PopFromEmptyVoqIsEmpty) {
+  VoqSet v(2, [](NodeId) { return 0; });
+  EXPECT_FALSE(v.pop_from(1).has_value());
+}
+
+TEST(VoqSet, TotalsAcrossQueues) {
+  VoqSet v(3, [](NodeId n) { return static_cast<int>(n); });
+  v.push(pkt(1, 100, 0, 0));
+  v.push(pkt(2, 200, 0, 2));
+  EXPECT_EQ(v.total_packets(), 2u);
+  EXPECT_EQ(v.total_bytes(), 300 + 2 * kHeaderBytes);
+  v.pop_from(2);
+  EXPECT_EQ(v.total_bytes(), 100 + kHeaderBytes);
+}
+
+TEST(VoqSet, BadClassifierIndexThrows) {
+  VoqSet v(2, [](NodeId) { return 7; });
+  EXPECT_THROW(v.push(pkt(1, 100)), std::out_of_range);
+}
+
+TEST(VoqSet, PeekDoesNotRemove) {
+  VoqSet v(1, [](NodeId) { return 0; });
+  v.push(pkt(5, 100));
+  EXPECT_EQ(v.peek(0)->flow, 5u);
+  EXPECT_EQ(v.total_packets(), 1u);
+}
+
+}  // namespace
+}  // namespace powertcp::net

@@ -1,0 +1,193 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace powertcp::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_FALSE(s.pending());
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(nanoseconds(30), [&] { order.push_back(3); });
+  s.schedule_at(nanoseconds(10), [&] { order.push_back(1); });
+  s.schedule_at(nanoseconds(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    s.schedule_at(nanoseconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, NowAdvancesToEventTime) {
+  Simulator s;
+  TimePs seen = -1;
+  s.schedule_at(microseconds(7), [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, microseconds(7));
+  EXPECT_EQ(s.now(), microseconds(7));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator s;
+  TimePs seen = -1;
+  s.schedule_at(microseconds(5), [&] {
+    s.schedule_in(microseconds(3), [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, microseconds(8));
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator s;
+  s.schedule_at(microseconds(10), [&] {
+    EXPECT_THROW(s.schedule_at(microseconds(5), [] {}),
+                 std::invalid_argument);
+  });
+  s.run();
+}
+
+TEST(Simulator, EventsCanScheduleAtCurrentTime) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(microseconds(1), [&] {
+    s.schedule_at(s.now(), [&] { ++fired; });
+  });
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  int fired = 0;
+  const EventId id = s.schedule_at(nanoseconds(10), [&] { ++fired; });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelAfterFireIsNoOp) {
+  Simulator s;
+  int fired = 0;
+  const EventId id = s.schedule_at(nanoseconds(10), [&] { ++fired; });
+  s.run();
+  s.cancel(id);  // already executed: harmless
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelOnlyAffectsTargetEvent) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(nanoseconds(10), [&] { order.push_back(1); });
+  const EventId id = s.schedule_at(nanoseconds(10), [&] { order.push_back(2); });
+  s.schedule_at(nanoseconds(10), [&] { order.push_back(3); });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsPending) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(microseconds(1), [&] { ++fired; });
+  s.schedule_at(microseconds(10), [&] { ++fired; });
+  s.run_until(microseconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), microseconds(5));
+  EXPECT_TRUE(s.pending());
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilExecutesEventAtBoundary) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(microseconds(5), [&] { ++fired; });
+  s.run_until(microseconds(5));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(nanoseconds(1), [&] {
+    ++fired;
+    s.stop();
+  });
+  s.schedule_at(nanoseconds(2), [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  s.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator s;
+  for (int i = 0; i < 5; ++i) s.schedule_at(nanoseconds(i), [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 5u);
+}
+
+TEST(Simulator, RecursiveSchedulingChains) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100) s.schedule_in(nanoseconds(10), tick);
+  };
+  s.schedule_at(0, tick);
+  s.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(s.now(), nanoseconds(990));
+}
+
+TEST(TimeHelpers, UnitConversionsAreExact) {
+  EXPECT_EQ(nanoseconds(1), 1'000);
+  EXPECT_EQ(microseconds(1), 1'000'000);
+  EXPECT_EQ(milliseconds(1), 1'000'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000'000);
+  EXPECT_EQ(from_seconds(1e-6), microseconds(1));
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(3)), 3.0);
+}
+
+TEST(TimeHelpers, FormatPicksUnits) {
+  EXPECT_EQ(format_time(picoseconds(500)), "500ps");
+  EXPECT_EQ(format_time(microseconds(12) + nanoseconds(500)), "12.500us");
+  EXPECT_EQ(format_time(milliseconds(3)), "3.000ms");
+  EXPECT_EQ(format_time(kTimeInfinity), "inf");
+}
+
+TEST(Bandwidth, TxTimeIsExactAtCommonRates) {
+  // 1 byte at 100 Gbps = 80 ps; a 1048-byte frame = 83.84 ns.
+  EXPECT_EQ(Bandwidth::gbps(100).tx_time(1), 80);
+  EXPECT_EQ(Bandwidth::gbps(100).tx_time(1048), 83'840);
+  // 25 Gbps: 320 ps per byte.
+  EXPECT_EQ(Bandwidth::gbps(25).tx_time(1000), 320'000);
+}
+
+TEST(Bandwidth, BdpMatchesHandComputation) {
+  // 25 Gbps x 20 us = 62.5 KB.
+  EXPECT_EQ(Bandwidth::gbps(25).bdp_bytes(microseconds(20)), 62'500);
+}
+
+TEST(Bandwidth, BytesInWindow) {
+  EXPECT_EQ(Bandwidth::gbps(8).bytes_in(microseconds(1)), 1'000);
+}
+
+}  // namespace
+}  // namespace powertcp::sim

@@ -1,0 +1,72 @@
+#include "stats/fct_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powertcp::stats {
+namespace {
+
+FlowRecord rec(std::int64_t size, sim::TimePs fct, sim::TimePs ideal) {
+  FlowRecord r;
+  r.size_bytes = size;
+  r.start = 0;
+  r.finish = fct;
+  r.ideal = ideal;
+  return r;
+}
+
+TEST(FlowRecord, SlowdownIsFctOverIdeal) {
+  EXPECT_DOUBLE_EQ(rec(1000, 200, 100).slowdown(), 2.0);
+  EXPECT_DOUBLE_EQ(rec(1000, 100, 100).slowdown(), 1.0);
+}
+
+TEST(FlowRecord, ZeroIdealYieldsZero) {
+  EXPECT_DOUBLE_EQ(rec(1000, 100, 0).slowdown(), 0.0);
+}
+
+TEST(FctRecorder, RangeFilterIsExclusiveInclusive) {
+  FctRecorder f;
+  f.record(rec(10'000, 100, 100));
+  f.record(rec(10'001, 100, 100));
+  // (0, 10'000] catches the first only.
+  EXPECT_EQ(f.slowdowns_in_range(0, 10'000).count(), 1u);
+  EXPECT_EQ(f.slowdowns_in_range(10'000, 20'000).count(), 1u);
+}
+
+TEST(FctRecorder, ShortAndLongBucketDefinitions) {
+  FctRecorder f;
+  f.record(rec(5'000, 100, 100));       // short (<10K)
+  f.record(rec(500'000, 100, 100));     // neither
+  f.record(rec(2'000'000, 100, 100));   // long (>=1M)
+  EXPECT_EQ(f.short_flow_slowdowns().count(), 1u);
+  EXPECT_EQ(f.long_flow_slowdowns().count(), 1u);
+}
+
+TEST(FctRecorder, PaperBucketsMatchFigSixAxis) {
+  const auto& buckets = paper_size_buckets();
+  ASSERT_EQ(buckets.size(), 8u);
+  EXPECT_EQ(buckets.front().upper_bytes, 5'000);
+  EXPECT_EQ(buckets.front().label, "5K");
+  EXPECT_EQ(buckets.back().upper_bytes, 30'000'000);
+  EXPECT_EQ(buckets.back().label, "30M");
+}
+
+TEST(FctRecorder, BucketPercentilesMarkEmptyBuckets) {
+  FctRecorder f;
+  f.record(rec(3'000, 300, 100));  // 3x slowdown in the 5K bucket
+  const auto row = f.bucket_percentiles(99);
+  ASSERT_EQ(row.size(), paper_size_buckets().size());
+  EXPECT_NEAR(row[0], 3.0, 1e-9);
+  for (std::size_t i = 1; i < row.size(); ++i) EXPECT_EQ(row[i], -1.0);
+}
+
+TEST(FctRecorder, AllSlowdownsCoversEveryFlow) {
+  FctRecorder f;
+  for (int i = 1; i <= 10; ++i) {
+    f.record(rec(i * 1000, i * 100, 100));
+  }
+  EXPECT_EQ(f.all_slowdowns().count(), 10u);
+  EXPECT_DOUBLE_EQ(f.all_slowdowns().max(), 10.0);
+}
+
+}  // namespace
+}  // namespace powertcp::stats

@@ -1,0 +1,92 @@
+#include "stats/percentiles.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powertcp::stats {
+namespace {
+
+Samples make(std::initializer_list<double> vs) {
+  Samples s;
+  for (double v : vs) s.add(v);
+  return s;
+}
+
+TEST(Samples, EmptyThrowsOnStatistics) {
+  Samples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.mean(), std::logic_error);
+}
+
+TEST(Samples, SingleValueIsEveryPercentile) {
+  const Samples s = make({42.0});
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(Samples, MedianInterpolates) {
+  const Samples s = make({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.percentile(50), 2.5);
+}
+
+TEST(Samples, PercentilesOnKnownLadder) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.01);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(Samples, MinMaxMean) {
+  const Samples s = make({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(Samples, StddevOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(make({2.0, 2.0, 2.0}).stddev(), 0.0);
+}
+
+TEST(Samples, StddevSample) {
+  // Known sample stddev of {2,4,4,4,5,5,7,9} is ~2.138 (n-1).
+  const Samples s = make({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+}
+
+TEST(Samples, InsertionAfterQueryResorts) {
+  Samples s = make({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.percentile(100), 3.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+}
+
+TEST(Samples, CdfAt) {
+  const Samples s = make({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(100.0), 1.0);
+}
+
+TEST(Samples, CdfCurveMonotone) {
+  Samples s;
+  for (int i = 0; i < 57; ++i) s.add(static_cast<double>((i * 37) % 101));
+  const auto curve = s.cdf_curve(10);
+  ASSERT_EQ(curve.size(), 10u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Samples, CdfCurveEmptyInput) {
+  Samples s;
+  EXPECT_TRUE(s.cdf_curve(5).empty());
+}
+
+}  // namespace
+}  // namespace powertcp::stats

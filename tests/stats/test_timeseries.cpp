@@ -1,0 +1,84 @@
+#include "stats/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powertcp::stats {
+namespace {
+
+using sim::microseconds;
+
+TEST(ThroughputSeries, BinsBytesByArrivalTime) {
+  ThroughputSeries ts(0, microseconds(10));
+  ts.add_bytes(microseconds(1), 1000);
+  ts.add_bytes(microseconds(9), 1000);
+  ts.add_bytes(microseconds(10), 500);
+  ASSERT_EQ(ts.bin_count(), 2u);
+  // 2000 bytes in 10us = 1.6 Gbps.
+  EXPECT_DOUBLE_EQ(ts.gbps(0), 1.6);
+  EXPECT_DOUBLE_EQ(ts.gbps(1), 0.4);
+}
+
+TEST(ThroughputSeries, IgnoresBytesBeforeOrigin) {
+  ThroughputSeries ts(microseconds(100), microseconds(10));
+  ts.add_bytes(microseconds(50), 1000);
+  EXPECT_EQ(ts.bin_count(), 0u);
+}
+
+TEST(ThroughputSeries, OutOfRangeBinReadsZero) {
+  ThroughputSeries ts(0, microseconds(10));
+  EXPECT_DOUBLE_EQ(ts.gbps(7), 0.0);
+}
+
+TEST(ThroughputSeries, MeanAcrossBins) {
+  ThroughputSeries ts(0, microseconds(10));
+  ts.add_bytes(microseconds(5), 1000);   // bin 0: 0.8 Gbps
+  ts.add_bytes(microseconds(15), 3000);  // bin 1: 2.4 Gbps
+  EXPECT_DOUBLE_EQ(ts.mean_gbps(0, 2), 1.6);
+}
+
+TEST(ThroughputSeries, BinStartArithmetic) {
+  ThroughputSeries ts(microseconds(5), microseconds(10));
+  EXPECT_EQ(ts.bin_start(0), microseconds(5));
+  EXPECT_EQ(ts.bin_start(3), microseconds(35));
+}
+
+TEST(QueueSeries, AtReturnsLastSampleBefore) {
+  QueueSeries q;
+  q.sample(microseconds(10), 100);
+  q.sample(microseconds(20), 300);
+  EXPECT_EQ(q.at(microseconds(5)), 0);
+  EXPECT_EQ(q.at(microseconds(10)), 100);
+  EXPECT_EQ(q.at(microseconds(15)), 100);
+  EXPECT_EQ(q.at(microseconds(25)), 300);
+}
+
+TEST(QueueSeries, TracksMaximum) {
+  QueueSeries q;
+  q.sample(1, 5);
+  q.sample(2, 50);
+  q.sample(3, 10);
+  EXPECT_EQ(q.max_bytes(), 50);
+}
+
+TEST(QueueSeries, TimeWeightedMeanOfStep) {
+  QueueSeries q;
+  q.sample(0, 0);
+  q.sample(microseconds(5), 1000);  // second half at 1000
+  EXPECT_NEAR(q.time_weighted_mean(0, microseconds(10)), 500.0, 1e-6);
+}
+
+TEST(QueueSeries, TimeWeightedMeanConstantLevel) {
+  QueueSeries q;
+  q.sample(0, 700);
+  EXPECT_NEAR(q.time_weighted_mean(microseconds(3), microseconds(9)), 700.0,
+              1e-6);
+}
+
+TEST(QueueSeries, EmptySeriesMeansZero) {
+  QueueSeries q;
+  EXPECT_EQ(q.at(microseconds(1)), 0);
+  EXPECT_DOUBLE_EQ(q.time_weighted_mean(0, microseconds(1)), 0.0);
+}
+
+}  // namespace
+}  // namespace powertcp::stats
