@@ -2,7 +2,8 @@
 /// under the web search workload at 20% and 60% ToR-uplink load, for
 /// PowerTCP, θ-PowerTCP, HPCC, DCQCN, TIMELY and HOMA.
 ///
-/// Scaling note (DESIGN.md §5): the default run uses the quick fat-tree
+/// Scaling note (docs/architecture.md, "Bench scaling conventions"):
+/// the default run uses the quick fat-tree
 /// (64 hosts) with websearch sizes scaled by 0.1 so enough flows finish
 /// to populate tail percentiles in minutes; size-bucket labels scale
 /// accordingly and we report p99 (pass --full for paper-scale p99.9 on

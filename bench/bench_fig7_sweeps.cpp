@@ -6,7 +6,8 @@
 ///   (e,f) tail slowdown vs incast request *size* (rate 4/s);
 ///   (g)   fabric buffer-occupancy CDF at 80% load;
 ///   (h)   buffer-occupancy CDF under the bursty overlay.
-/// Same scaling conventions as bench_fig6 (see DESIGN.md §5).
+/// Same scaling conventions as bench_fig6 (see docs/architecture.md,
+/// "Bench scaling conventions").
 
 #include <cstdio>
 #include <cstring>

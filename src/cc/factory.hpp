@@ -14,10 +14,14 @@ namespace powertcp::cc {
 
 /// Supported names: "powertcp", "powertcp-rtt" (per-RTT update mode),
 /// "theta-powertcp", "hpcc", "hpcc-rtt", "dcqcn", "timely", "dctcp",
-/// "swift". Throws std::invalid_argument for unknown names.
+/// "swift", "newreno", "cubic". Throws std::invalid_argument for
+/// unknown names. (reTCP needs a CircuitSchedule and is constructed
+/// directly; the receiver-driven Homa transport lives in host/homa.)
 CcFactory make_factory(const std::string& name);
 
-/// All algorithm names the sender-side factory supports.
+/// Canonical algorithm names, one per scheme — excludes the "-rtt"
+/// update-mode variants, so benches iterating this list compare each
+/// scheme once.
 const std::vector<std::string>& sender_cc_names();
 
 }  // namespace powertcp::cc

@@ -15,7 +15,8 @@
 /// al., SIGCOMM 2018) — the paper's receiver-driven baseline (§4,
 /// Appendix D).
 ///
-/// Mechanisms reproduced (simplifications documented in DESIGN.md §4):
+/// Mechanisms reproduced (simplifications documented in
+/// docs/architecture.md, "Homa simplifications"):
 ///  * Unscheduled data: the first RTTbytes of every message leave
 ///    immediately at line rate, at a priority picked from the message
 ///    size (smaller message -> higher priority).

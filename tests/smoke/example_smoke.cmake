@@ -1,0 +1,20 @@
+# Generic end-to-end smoke test: run an example binary, require exit
+# code 0 and at least one output line matching EXPECT_REGEX (a data or
+# summary line, so an example that prints only headers still fails).
+if(NOT DEFINED EXAMPLE_BIN OR NOT DEFINED EXPECT_REGEX)
+  message(FATAL_ERROR "pass -DEXAMPLE_BIN=<binary> -DEXPECT_REGEX=<regex>")
+endif()
+
+execute_process(COMMAND ${EXAMPLE_BIN}
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err
+                RESULT_VARIABLE rc)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${EXAMPLE_BIN} exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+string(REGEX MATCH "${EXPECT_REGEX}" matched "${out}")
+if(matched STREQUAL "")
+  message(FATAL_ERROR "${EXAMPLE_BIN} output did not match '${EXPECT_REGEX}':\n${out}")
+endif()

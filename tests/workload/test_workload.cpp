@@ -94,7 +94,9 @@ TEST(GeneratePoisson, ArrivalsSortedAndInWindow) {
   for (std::size_t i = 0; i < plan.size(); ++i) {
     EXPECT_GT(plan[i].start, cfg.start);
     EXPECT_LT(plan[i].start, cfg.stop);
-    if (i > 0) EXPECT_GE(plan[i].start, plan[i - 1].start);
+    if (i > 0) {
+      EXPECT_GE(plan[i].start, plan[i - 1].start);
+    }
     EXPECT_NE(plan[i].src_host, plan[i].dst_host);
   }
 }
