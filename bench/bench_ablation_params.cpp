@@ -6,17 +6,23 @@
 ///       Σβ (Appendix A), so oversized β (small N) buys convergence
 ///       speed with standing queues.
 /// Each row runs the websearch fat-tree experiment at 60% load and the
-/// 10:1 incast microbenchmark.
+/// 10:1 incast microbenchmark. Rows are independent simulations and run
+/// on the --threads=N pool; output is identical for every N.
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "cc/power_tcp.hpp"
+#include "harness/bench_opts.hpp"
 #include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
 #include "net/network.hpp"
 #include "stats/timeseries.hpp"
 #include "topo/dumbbell.hpp"
 
 using namespace powertcp;
+using harness::Cell;
 
 namespace {
 
@@ -67,43 +73,83 @@ IncastStats incast_with(const cc::PowerTcpConfig& pcfg, int n_for_beta) {
   return out;
 }
 
+harness::ResultTable gamma_table(harness::SweepRunner& runner) {
+  const std::vector<double> gammas = {0.1, 0.3, 0.6, 0.9, 1.0};
+  std::vector<std::function<IncastStats()>> jobs;
+  jobs.reserve(gammas.size());
+  for (const double gamma : gammas) {
+    jobs.push_back([gamma] {
+      cc::PowerTcpConfig pcfg;
+      pcfg.gamma = gamma;
+      return incast_with(pcfg, 64);
+    });
+  }
+  const std::vector<IncastStats> rows = runner.map(jobs);
+
+  harness::ResultTable t;
+  t.title = "gamma ablation: 10:1 incast microbench (N = 64)";
+  t.slug = "ablation_gamma";
+  t.key_columns = {"gamma"};
+  t.value_columns = {"peakQ(KB)", "settle(us)", "residualQ(KB)", "note"};
+  for (std::size_t i = 0; i < gammas.size(); ++i) {
+    harness::ResultTable::Row row;
+    row.keys = {Cell(gammas[i], 2)};
+    row.values = {Cell(rows[i].peak_queue_kb, 1),
+                  Cell(rows[i].settle_us, 1),
+                  Cell(rows[i].mean_queue_after_kb, 2),
+                  gammas[i] == 0.9 ? Cell(std::string("<- paper default"))
+                                   : Cell()};
+    t.rows.push_back(std::move(row));
+  }
+  return t;
+}
+
+harness::SweepSpec beta_sweep() {
+  harness::SweepSpec sw;
+  sw.title = "beta ablation: N in beta = HostBw*tau/N (gamma = 0.9)";
+  sw.slug = "ablation_beta";
+  sw.key_columns = {"N"};
+  sw.value_columns = {"short-p99", "all-p50", "uplinkQ-p99(KB)", "drops"};
+  for (const int n : {8, 16, 64, 256}) {
+    harness::SweepPoint p;
+    p.keys = {Cell::integer(n)};
+    p.cfg.cc = "powertcp";
+    p.cfg.uplink_load = 0.6;
+    p.cfg.duration = sim::milliseconds(8);
+    p.cfg.size_scale = 0.1;
+    p.cfg.seed = 42;
+    p.cfg.expected_flows = n;
+    sw.points.push_back(std::move(p));
+  }
+  sw.metrics = [](const harness::FatTreeExperiment&,
+                  const harness::ExperimentResult& r) {
+    const auto s = r.fct.slowdowns_in_range(0, 1'000);
+    return std::vector<Cell>{
+        s.empty() ? Cell() : Cell(s.percentile(99), 2),
+        Cell(r.fct.all_slowdowns().percentile(50), 2),
+        Cell(r.uplink_queue_bytes.percentile(99) / 1e3, 1),
+        Cell::integer(static_cast<std::int64_t>(r.drops))};
+  };
+  return sw;
+}
+
 }  // namespace
 
-int main() {
-  std::printf("=== gamma ablation: 10:1 incast microbench (N = 64) ===\n");
-  std::printf("%6s %14s %12s %18s\n", "gamma", "peakQ(KB)", "settle(us)",
-              "residualQ(KB)");
-  for (const double gamma : {0.1, 0.3, 0.6, 0.9, 1.0}) {
-    cc::PowerTcpConfig pcfg;
-    pcfg.gamma = gamma;
-    const IncastStats inc = incast_with(pcfg, 64);
-    std::printf("%6.2f %14.1f %12.1f %18.2f%s\n", gamma,
-                inc.peak_queue_kb, inc.settle_us, inc.mean_queue_after_kb,
-                gamma == 0.9 ? "   <- paper default" : "");
+int main(int argc, char** argv) {
+  const auto opts = harness::BenchOptions::parse(argc, argv);
+  if (opts.help) {
+    std::fputs(
+        harness::BenchOptions::usage("bench_ablation_params").c_str(),
+        stdout);
+    return 0;
   }
+  if (!opts.ok) return 2;
 
-  std::printf("\n=== beta ablation: N in beta = HostBw*tau/N "
-              "(gamma = 0.9) ===\n");
-  std::printf("%6s %12s %12s %14s %12s\n", "N", "short-p99", "all-p50",
-              "uplinkQ-p99", "drops");
-  for (const int n : {8, 16, 64, 256}) {
-    harness::FatTreeExperiment cfg;
-    cfg.cc = "powertcp";
-    cfg.uplink_load = 0.6;
-    cfg.duration = sim::milliseconds(8);
-    cfg.size_scale = 0.1;
-    cfg.seed = 42;
-    cfg.expected_flows = n;
-    const auto r = harness::run_fat_tree_experiment(cfg);
-    const auto s = r.fct.slowdowns_in_range(0, 1'000);
-    std::printf("%6d %12.2f %12.2f %12.1fKB %12llu\n", n,
-                s.empty() ? -1.0 : s.percentile(99),
-                r.fct.all_slowdowns().percentile(50),
-                r.uplink_queue_bytes.percentile(99) / 1e3,
-                static_cast<unsigned long long>(r.drops));
-  }
+  harness::BenchReporter reporter("bench_ablation_params", opts);
+  reporter.add(gamma_table(reporter.runner()));
+  reporter.add(reporter.runner().run(beta_sweep()));
   std::printf("\nlarger N (smaller beta) -> lower standing queues and\n"
               "better tail FCTs, at slower fairness convergence "
               "(Theorem 3 weights).\n");
-  return 0;
+  return reporter.finish();
 }

@@ -8,13 +8,19 @@
 /// incast and return to near-zero queue without losing throughput; HPCC
 /// reaches ~2x PowerTCP's buffer peak and loses throughput afterwards;
 /// TIMELY controls neither; HOMA sustains throughput but holds queues.
+///
+/// The per-algorithm simulations are independent and run on the
+/// --threads=N pool; output is identical for every N.
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "cc/factory.hpp"
+#include "harness/bench_opts.hpp"
 #include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
 #include "host/homa.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
@@ -22,6 +28,7 @@
 #include "topo/fat_tree.hpp"
 
 using namespace powertcp;
+using harness::Cell;
 
 namespace {
 
@@ -131,43 +138,70 @@ Series run(const std::string& algo, int fan_in, std::int64_t query_bytes,
   return out;
 }
 
-void table(const std::vector<std::string>& algos, int fan_in,
-           std::int64_t query_bytes, sim::TimePs horizon, sim::TimePs bin) {
-  if (query_bytes > 0) {
-    std::printf("\n=== 10 long flows + %d:1 query incast (%lld KB total) "
-                "at t=500us ===\n",
-                fan_in, static_cast<long long>(query_bytes / 1000));
-  } else {
-    std::printf("\n=== 10:1 incast of long flows at t=500us ===\n");
-  }
-  std::vector<Series> rows;
-  rows.reserve(algos.size());
+harness::ResultTable table(harness::SweepRunner& runner,
+                           const std::vector<std::string>& algos, int fan_in,
+                           std::int64_t query_bytes, sim::TimePs horizon,
+                           sim::TimePs bin) {
+  std::vector<std::function<Series()>> jobs;
+  jobs.reserve(algos.size());
   for (const auto& a : algos) {
-    rows.push_back(run(a, fan_in, query_bytes, horizon, bin));
+    jobs.push_back([a, fan_in, query_bytes, horizon, bin] {
+      return run(a, fan_in, query_bytes, horizon, bin);
+    });
   }
+  const std::vector<Series> rows = runner.map(jobs);
 
-  std::printf("%10s", "time");
-  for (const auto& a : algos) std::printf(" | %-9.9s gbps  qKB", a.c_str());
-  std::printf("\n");
+  harness::ResultTable t;
+  if (query_bytes > 0) {
+    char title[96];
+    std::snprintf(title, sizeof(title),
+                  "10 long flows + %d:1 query incast (%lld KB total) "
+                  "at t=500us",
+                  fan_in, static_cast<long long>(query_bytes / 1000));
+    t.title = title;
+    t.slug = "fig4_query";
+  } else {
+    t.title = "10:1 incast of long flows at t=500us";
+    t.slug = "fig4_10to1";
+  }
+  t.key_columns = {"time"};
+  for (const auto& a : algos) {
+    t.value_columns.push_back(a + " gbps");
+    t.value_columns.push_back(a + " qKB");
+  }
   const auto bins = rows.front().gbps.size();
   for (std::size_t b = 0; b < bins; b += 2) {
-    std::printf("%10s", sim::format_time(static_cast<sim::TimePs>(b) * bin)
-                            .c_str());
+    harness::ResultTable::Row row;
+    row.keys = {
+        Cell(sim::format_time(static_cast<sim::TimePs>(b) * bin))};
     for (const auto& r : rows) {
-      std::printf(" | %9.1f %9.1f", r.gbps[b], r.queue_kb[b]);
+      row.values.push_back(Cell(r.gbps[b], 1));
+      row.values.push_back(Cell(r.queue_kb[b], 1));
     }
-    std::printf("\n");
+    t.rows.push_back(std::move(row));
   }
+  return t;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = harness::BenchOptions::parse(argc, argv);
+  if (opts.help) {
+    std::fputs(harness::BenchOptions::usage("bench_fig4_incast").c_str(),
+               stdout);
+    return 0;
+  }
+  if (!opts.ok) return 2;
+
   const std::vector<std::string> algos = {"powertcp", "theta-powertcp",
                                           "timely", "hpcc", "homa"};
+  harness::BenchReporter reporter("bench_fig4_incast", opts);
   // Top row: 10:1 of long flows. Bottom row: additionally every remote
   // host answers a 2 MB query (the paper's 255:1 scaled to this fabric).
-  table(algos, 10, 0, sim::milliseconds(3), sim::microseconds(50));
-  table(algos, 55, 2'000'000, sim::milliseconds(3), sim::microseconds(50));
-  return 0;
+  reporter.add(table(reporter.runner(), algos, 10, 0, sim::milliseconds(3),
+                     sim::microseconds(50)));
+  reporter.add(table(reporter.runner(), algos, 55, 2'000'000,
+                     sim::milliseconds(3), sim::microseconds(50)));
+  return reporter.finish();
 }

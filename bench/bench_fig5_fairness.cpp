@@ -3,13 +3,19 @@
 /// paper shows PowerTCP and θ-PowerTCP settling to the fair share at
 /// every arrival/departure, TIMELY oscillating, and HOMA (receiver
 /// SRPT) serving messages by remaining size rather than fairly.
+///
+/// The per-algorithm simulations are independent and run on the
+/// --threads=N pool; output is identical for every N.
 
 #include <array>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "cc/factory.hpp"
+#include "harness/bench_opts.hpp"
+#include "harness/sweep.hpp"
 #include "host/homa.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
@@ -17,10 +23,16 @@
 #include "topo/dumbbell.hpp"
 
 using namespace powertcp;
+using harness::Cell;
 
 namespace {
 
-void run(const std::string& algo) {
+struct FlowSeries {
+  std::vector<sim::TimePs> bin_start;
+  std::array<std::vector<double>, 4> gbps;
+};
+
+FlowSeries run(const std::string& algo) {
   sim::Simulator simulator;
   net::Network network(simulator);
   topo::DumbbellConfig cfg;
@@ -71,23 +83,57 @@ void run(const std::string& algo) {
 
   simulator.run_until(sim::milliseconds(8));
 
-  std::printf("\n=== %s ===\n", algo.c_str());
-  std::printf("%10s %8s %8s %8s %8s   (Gbps per flow)\n", "time", "f1",
-              "f2", "f3", "f4");
+  FlowSeries out;
   for (std::size_t b = 0; b < series[0].bin_count(); b += 4) {
-    std::printf("%10s", sim::format_time(series[0].bin_start(b)).c_str());
-    for (const auto& s : series) std::printf(" %8.1f", s.gbps(b));
-    std::printf("\n");
+    out.bin_start.push_back(series[0].bin_start(b));
+    for (std::size_t f = 0; f < 4; ++f) {
+      out.gbps[f].push_back(series[f].gbps(b));
+    }
   }
+  return out;
+}
+
+harness::ResultTable to_table(const std::string& algo,
+                              const FlowSeries& fs) {
+  harness::ResultTable t;
+  t.title = algo + " (Gbps per flow)";
+  t.slug = "fig5_" + algo;
+  t.key_columns = {"time"};
+  t.value_columns = {"f1", "f2", "f3", "f4"};
+  for (std::size_t b = 0; b < fs.bin_start.size(); ++b) {
+    harness::ResultTable::Row row;
+    row.keys = {Cell(sim::format_time(fs.bin_start[b]))};
+    for (std::size_t f = 0; f < 4; ++f) {
+      row.values.push_back(Cell(fs.gbps[f][b], 1));
+    }
+    t.rows.push_back(std::move(row));
+  }
+  return t;
 }
 
 }  // namespace
 
-int main() {
-  std::printf("Fig. 5: four staggered flows over a 25G bottleneck\n");
-  for (const std::string algo :
-       {"powertcp", "homa", "theta-powertcp", "timely"}) {
-    run(algo);
+int main(int argc, char** argv) {
+  const auto opts = harness::BenchOptions::parse(argc, argv);
+  if (opts.help) {
+    std::fputs(harness::BenchOptions::usage("bench_fig5_fairness").c_str(),
+               stdout);
+    return 0;
   }
-  return 0;
+  if (!opts.ok) return 2;
+
+  const std::vector<std::string> algos = {"powertcp", "homa",
+                                          "theta-powertcp", "timely"};
+  std::printf("Fig. 5: four staggered flows over a 25G bottleneck\n\n");
+  harness::BenchReporter reporter("bench_fig5_fairness", opts);
+  std::vector<std::function<FlowSeries()>> jobs;
+  jobs.reserve(algos.size());
+  for (const auto& a : algos) {
+    jobs.push_back([a] { return run(a); });
+  }
+  const std::vector<FlowSeries> results = reporter.runner().map(jobs);
+  for (std::size_t i = 0; i < algos.size(); ++i) {
+    reporter.add(to_table(algos[i], results[i]));
+  }
+  return reporter.finish();
 }

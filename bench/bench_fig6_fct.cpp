@@ -7,20 +7,21 @@
 /// (64 hosts) with websearch sizes scaled by 0.1 so enough flows finish
 /// to populate tail percentiles in minutes; size-bucket labels scale
 /// accordingly and we report p99 (pass --full for paper-scale p99.9 on
-/// the 256-host fabric; budget ~hours).
+/// the 256-host fabric; budget ~hours, mitigated by --threads=N).
 ///
 /// Expected shape: PowerTCP lowest across sizes; θ-PowerTCP matches on
 /// short flows but degrades on medium/long flows; HPCC close behind
 /// PowerTCP; DCQCN/TIMELY far worse on short flows; HOMA worst at load.
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hpp"
+#include "harness/bench_opts.hpp"
+#include "harness/sweep.hpp"
 
 using namespace powertcp;
+using harness::Cell;
 
 namespace {
 
@@ -31,68 +32,83 @@ struct RunSpec {
   double pct = 99.0;
 };
 
-void run_load(double load, const RunSpec& spec,
-              const std::vector<std::string>& algos) {
-  std::printf("\n=== %.0f%% ToR-uplink load, websearch (x%.2f sizes), "
-              "p%.1f slowdown per size bucket ===\n",
-              load * 100, spec.size_scale, spec.pct);
-  std::printf("%-16s", "algorithm");
+harness::SweepSpec load_sweep(double load, const RunSpec& spec,
+                              const std::vector<std::string>& algos) {
+  harness::SweepSpec sw;
+  char title[128];
+  std::snprintf(title, sizeof(title),
+                "%.0f%% ToR-uplink load, websearch (x%.2f sizes), "
+                "p%.1f slowdown per size bucket",
+                load * 100, spec.size_scale, spec.pct);
+  sw.title = title;
+  char slug[32];
+  std::snprintf(slug, sizeof(slug), "fig6_load%.0f", load * 100);
+  sw.slug = slug;
+  sw.key_columns = {"algorithm"};
   for (const auto& b : stats::paper_size_buckets()) {
-    std::printf(" %8s", b.label.c_str());
+    sw.value_columns.push_back(b.label);
   }
-  std::printf(" %8s %7s\n", "allP50", "drops");
-
+  sw.value_columns.insert(sw.value_columns.end(),
+                          {"allP50", "drops", "flows", "done%"});
   for (const auto& algo : algos) {
-    harness::FatTreeExperiment cfg;
-    if (spec.full) cfg.topo = topo::FatTreeConfig();  // paper scale
-    cfg.cc = algo;
-    cfg.uplink_load = load;
-    cfg.duration = spec.duration;
-    cfg.size_scale = spec.size_scale;
-    cfg.seed = 42;
-    const auto result = harness::run_fat_tree_experiment(cfg);
-
+    harness::SweepPoint p;
+    p.keys = {Cell(algo)};
+    if (spec.full) p.cfg.topo = topo::FatTreeConfig();  // paper scale
+    p.cfg.cc = algo;
+    p.cfg.uplink_load = load;
+    p.cfg.duration = spec.duration;
+    p.cfg.size_scale = spec.size_scale;
+    p.cfg.seed = 42;
+    sw.points.push_back(std::move(p));
+  }
+  sw.metrics = [spec](const harness::FatTreeExperiment&,
+                      const harness::ExperimentResult& r) {
+    std::vector<Cell> row;
     // Buckets are defined on unscaled sizes; rescale the edges.
-    std::printf("%-16s", algo.c_str());
     std::int64_t lo = 0;
     for (const auto& b : stats::paper_size_buckets()) {
       const auto hi = static_cast<std::int64_t>(
           static_cast<double>(b.upper_bytes) * spec.size_scale);
-      const auto s = result.fct.slowdowns_in_range(lo, hi);
-      if (s.count() >= 5) {
-        std::printf(" %8.2f", s.percentile(spec.pct));
-      } else {
-        std::printf(" %8s", "-");
-      }
+      const auto s = r.fct.slowdowns_in_range(lo, hi);
+      row.push_back(s.count() >= 5 ? Cell(s.percentile(spec.pct), 2)
+                                   : Cell());
       lo = hi;
     }
-    const auto all = result.fct.all_slowdowns();
-    std::printf(" %8.2f %7llu   (%llu flows, %.1f%% done)\n",
-                all.empty() ? -1.0 : all.percentile(50),
-                static_cast<unsigned long long>(result.drops),
-                static_cast<unsigned long long>(result.flows_started),
-                result.completion_rate() * 100);
-  }
+    const auto all = r.fct.all_slowdowns();
+    row.push_back(all.empty() ? Cell() : Cell(all.percentile(50), 2));
+    row.push_back(Cell::integer(static_cast<std::int64_t>(r.drops)));
+    row.push_back(
+        Cell::integer(static_cast<std::int64_t>(r.flows_started)));
+    row.push_back(Cell(r.completion_rate() * 100, 1));
+    return row;
+  };
+  return sw;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto opts = harness::BenchOptions::parse(argc, argv);
+  if (opts.help) {
+    std::fputs(harness::BenchOptions::usage("bench_fig6_fct").c_str(),
+               stdout);
+    return 0;
+  }
+  if (!opts.ok) return 2;
+
   RunSpec spec;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--full") == 0) {
-      spec.full = true;
-      spec.duration = sim::milliseconds(100);
-      spec.size_scale = 1.0;
-      spec.pct = 99.9;
-    } else if (std::strcmp(argv[i], "--fast") == 0) {
-      spec.duration = sim::milliseconds(8);
-    }
+  if (opts.fast) spec.duration = sim::milliseconds(8);
+  if (opts.full) {
+    spec.full = true;
+    spec.duration = sim::milliseconds(100);
+    spec.size_scale = 1.0;
+    spec.pct = 99.9;
   }
   const std::vector<std::string> algos = {"powertcp", "theta-powertcp",
                                           "hpcc",     "dcqcn",
                                           "timely",   "homa"};
-  run_load(0.2, spec, algos);
-  run_load(0.6, spec, algos);
-  return 0;
+  harness::BenchReporter reporter("bench_fig6_fct", opts);
+  reporter.add(reporter.runner().run(load_sweep(0.2, spec, algos)));
+  reporter.add(reporter.runner().run(load_sweep(0.6, spec, algos)));
+  return reporter.finish();
 }

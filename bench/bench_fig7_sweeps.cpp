@@ -3,20 +3,25 @@
 ///   (a,b) short/long-flow tail slowdown across 20-80% load;
 ///   (c,d) tail slowdown vs incast request *rate* (websearch@80% +
 ///         2MB-request incast overlay);
-///   (e,f) tail slowdown vs incast request *size* (rate 4/s);
+///   (e,f) tail slowdown vs incast request *size* (rate 256/s);
 ///   (g)   fabric buffer-occupancy CDF at 80% load;
 ///   (h)   buffer-occupancy CDF under the bursty overlay.
 /// Same scaling conventions as bench_fig6 (see docs/architecture.md,
 /// "Bench scaling conventions").
+///
+/// Sweep points are independent simulations, executed on a thread pool
+/// (--threads=N); tables are identical for every N. --csv/--json emit
+/// machine-readable copies of every table.
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hpp"
+#include "harness/bench_opts.hpp"
+#include "harness/sweep.hpp"
 
 using namespace powertcp;
+using harness::Cell;
 
 namespace {
 
@@ -36,125 +41,174 @@ harness::FatTreeExperiment base_cfg(const std::string& algo,
   return cfg;
 }
 
-void fig7ab(const RunSpec& spec, const std::vector<std::string>& algos) {
-  std::printf("=== Fig. 7a/7b: p%.1f slowdown vs load ===\n", spec.pct);
-  std::printf("%-16s %6s %12s %12s %8s\n", "algorithm", "load",
-              "short(<10K)", "long(>=1M)", "drops");
+Cell pct_cell(const stats::Samples& s, double pct) {
+  return s.empty() ? Cell() : Cell(s.percentile(pct), 2);
+}
+
+/// Short/long-flow tail slowdown extractor shared by Figs. 7a-7f.
+auto slowdown_metrics(const RunSpec& spec, bool with_drops) {
+  return [spec, with_drops](const harness::FatTreeExperiment&,
+                            const harness::ExperimentResult& r) {
+    const auto s = r.fct.slowdowns_in_range(
+        0, static_cast<std::int64_t>(10'000 * spec.size_scale));
+    const auto l = r.fct.slowdowns_in_range(
+        static_cast<std::int64_t>(1'000'000 * spec.size_scale), INT64_MAX);
+    std::vector<Cell> row = {pct_cell(s, spec.pct), pct_cell(l, spec.pct)};
+    if (with_drops) {
+      row.push_back(Cell::integer(static_cast<std::int64_t>(r.drops)));
+    }
+    return row;
+  };
+}
+
+harness::SweepSpec fig7ab(const RunSpec& spec,
+                          const std::vector<std::string>& algos) {
+  harness::SweepSpec sw;
+  char title[96];
+  std::snprintf(title, sizeof(title),
+                "Fig. 7a/7b: p%.1f slowdown vs load", spec.pct);
+  sw.title = title;
+  sw.slug = "fig7ab";
+  sw.key_columns = {"algorithm", "load%"};
+  sw.value_columns = {"short(<10K)", "long(>=1M)", "drops"};
   for (const double load : {0.2, 0.4, 0.6, 0.8}) {
     for (const auto& algo : algos) {
-      auto cfg = base_cfg(algo, spec);
-      cfg.uplink_load = load;
-      const auto r = harness::run_fat_tree_experiment(cfg);
-      const auto s = r.fct.slowdowns_in_range(
-          0, static_cast<std::int64_t>(10'000 * spec.size_scale));
-      const auto l = r.fct.slowdowns_in_range(
-          static_cast<std::int64_t>(1'000'000 * spec.size_scale), INT64_MAX);
-      std::printf("%-16s %6.0f%% %12.2f %12.2f %8llu\n", algo.c_str(),
-                  load * 100, s.empty() ? -1 : s.percentile(spec.pct),
-                  l.empty() ? -1 : l.percentile(spec.pct),
-                  static_cast<unsigned long long>(r.drops));
+      harness::SweepPoint p;
+      p.keys = {Cell(algo), Cell(load * 100, 0)};
+      p.cfg = base_cfg(algo, spec);
+      p.cfg.uplink_load = load;
+      sw.points.push_back(std::move(p));
     }
   }
+  sw.metrics = slowdown_metrics(spec, /*with_drops=*/true);
+  return sw;
 }
 
-void fig7cdef(const RunSpec& spec, const std::vector<std::string>& algos) {
-  std::printf("\n=== Fig. 7c/7d: p%.1f slowdown vs incast request rate "
-              "(websearch@80%% + incast, request size 2MB x%.2f) ===\n",
-              spec.pct, spec.size_scale);
-  std::printf("%-16s %6s %12s %12s\n", "algorithm", "rate", "short", "long");
+harness::SweepSpec fig7cd(const RunSpec& spec,
+                          const std::vector<std::string>& algos) {
+  harness::SweepSpec sw;
+  char title[128];
+  std::snprintf(title, sizeof(title),
+                "Fig. 7c/7d: p%.1f slowdown vs incast request rate "
+                "(websearch@80%%, request size 2MB x%.2f)",
+                spec.pct, spec.size_scale);
+  sw.title = title;
+  sw.slug = "fig7cd";
+  sw.key_columns = {"algorithm", "rate/s"};
+  sw.value_columns = {"short(<10K)", "long(>=1M)"};
+  // Rates scaled up vs the paper's 1-16/s because the horizon is ms,
+  // not seconds; the ratio of burst bytes to background is preserved.
   for (const double rate : {64.0, 256.0, 512.0, 1024.0}) {
-    // Rates scaled up vs the paper's 1-16/s because the horizon is ms,
-    // not seconds; the ratio of burst bytes to background is preserved.
     for (const auto& algo : algos) {
-      auto cfg = base_cfg(algo, spec);
-      cfg.uplink_load = 0.8;
-      cfg.incast = true;
-      cfg.incast_requests_per_sec = rate;
-      cfg.incast_request_bytes =
+      harness::SweepPoint p;
+      p.keys = {Cell(algo), Cell(rate, 0)};
+      p.cfg = base_cfg(algo, spec);
+      p.cfg.uplink_load = 0.8;
+      p.cfg.incast = true;
+      p.cfg.incast_requests_per_sec = rate;
+      p.cfg.incast_request_bytes =
           static_cast<std::int64_t>(2'000'000 * spec.size_scale);
-      const auto r = harness::run_fat_tree_experiment(cfg);
-      const auto s = r.fct.slowdowns_in_range(
-          0, static_cast<std::int64_t>(10'000 * spec.size_scale));
-      const auto l = r.fct.slowdowns_in_range(
-          static_cast<std::int64_t>(1'000'000 * spec.size_scale), INT64_MAX);
-      std::printf("%-16s %6.0f %12.2f %12.2f\n", algo.c_str(), rate,
-                  s.empty() ? -1 : s.percentile(spec.pct),
-                  l.empty() ? -1 : l.percentile(spec.pct));
+      sw.points.push_back(std::move(p));
     }
   }
+  sw.metrics = slowdown_metrics(spec, /*with_drops=*/false);
+  return sw;
+}
 
-  std::printf("\n=== Fig. 7e/7f: p%.1f slowdown vs incast request size "
-              "(rate 256/s) ===\n",
-              spec.pct);
-  std::printf("%-16s %7s %12s %12s\n", "algorithm", "sizeMB", "short",
-              "long");
+harness::SweepSpec fig7ef(const RunSpec& spec,
+                          const std::vector<std::string>& algos) {
+  harness::SweepSpec sw;
+  char title[96];
+  std::snprintf(title, sizeof(title),
+                "Fig. 7e/7f: p%.1f slowdown vs incast request size "
+                "(rate 256/s)",
+                spec.pct);
+  sw.title = title;
+  sw.slug = "fig7ef";
+  sw.key_columns = {"algorithm", "sizeMB"};
+  sw.value_columns = {"short(<10K)", "long(>=1M)"};
   for (const double mb : {1.0, 2.0, 4.0, 8.0}) {
     for (const auto& algo : algos) {
-      auto cfg = base_cfg(algo, spec);
-      cfg.uplink_load = 0.8;
-      cfg.incast = true;
-      cfg.incast_requests_per_sec = 256.0;
-      cfg.incast_request_bytes =
+      harness::SweepPoint p;
+      p.keys = {Cell(algo), Cell(mb, 0)};
+      p.cfg = base_cfg(algo, spec);
+      p.cfg.uplink_load = 0.8;
+      p.cfg.incast = true;
+      p.cfg.incast_requests_per_sec = 256.0;
+      p.cfg.incast_request_bytes =
           static_cast<std::int64_t>(mb * 1e6 * spec.size_scale);
-      const auto r = harness::run_fat_tree_experiment(cfg);
-      const auto s = r.fct.slowdowns_in_range(
-          0, static_cast<std::int64_t>(10'000 * spec.size_scale));
-      const auto l = r.fct.slowdowns_in_range(
-          static_cast<std::int64_t>(1'000'000 * spec.size_scale), INT64_MAX);
-      std::printf("%-16s %7.0f %12.2f %12.2f\n", algo.c_str(), mb,
-                  s.empty() ? -1 : s.percentile(spec.pct),
-                  l.empty() ? -1 : l.percentile(spec.pct));
+      sw.points.push_back(std::move(p));
     }
   }
+  sw.metrics = slowdown_metrics(spec, /*with_drops=*/false);
+  return sw;
 }
 
-void fig7gh(const RunSpec& spec, const std::vector<std::string>& algos) {
-  std::printf("\n=== Fig. 7g: ToR-uplink buffer occupancy at 80%% load "
-              "(KB at CDF points) ===\n");
-  std::printf("%-16s %8s %8s %8s %8s %8s\n", "algorithm", "p50", "p90",
-              "p99", "p99.9", "max");
-  for (const bool bursty : {false, true}) {
-    if (bursty) {
-      std::printf("\n=== Fig. 7h: same, with incast overlay ===\n");
-      std::printf("%-16s %8s %8s %8s %8s %8s\n", "algorithm", "p50", "p90",
-                  "p99", "p99.9", "max");
-    }
-    for (const auto& algo : algos) {
-      auto cfg = base_cfg(algo, spec);
-      cfg.uplink_load = 0.8;
-      if (bursty) {
-        cfg.incast = true;
-        cfg.incast_requests_per_sec = 512.0;
-        cfg.incast_request_bytes =
-            static_cast<std::int64_t>(2'000'000 * spec.size_scale);
-      }
-      const auto r = harness::run_fat_tree_experiment(cfg);
-      const auto& q = r.uplink_queue_bytes;
-      std::printf("%-16s %8.1f %8.1f %8.1f %8.1f %8.1f\n", algo.c_str(),
-                  q.percentile(50) / 1e3, q.percentile(90) / 1e3,
-                  q.percentile(99) / 1e3, q.percentile(99.9) / 1e3,
-                  q.max() / 1e3);
-    }
+harness::SweepSpec fig7gh(const RunSpec& spec,
+                          const std::vector<std::string>& algos,
+                          bool bursty) {
+  harness::SweepSpec sw;
+  sw.title = bursty ? "Fig. 7h: ToR-uplink buffer occupancy at 80% load, "
+                      "with incast overlay (KB at CDF points)"
+                    : "Fig. 7g: ToR-uplink buffer occupancy at 80% load "
+                      "(KB at CDF points)";
+  sw.slug = bursty ? "fig7h" : "fig7g";
+  sw.key_columns = {"algorithm"};
+  // Columns come from the serializable summary form, so table headers
+  // and the metrics row below cannot drift apart.
+  for (const auto& nv : stats::SampleSummary{}.named_values()) {
+    sw.value_columns.push_back(nv.first);
   }
+  for (const auto& algo : algos) {
+    harness::SweepPoint p;
+    p.keys = {Cell(algo)};
+    p.cfg = base_cfg(algo, spec);
+    p.cfg.uplink_load = 0.8;
+    if (bursty) {
+      p.cfg.incast = true;
+      p.cfg.incast_requests_per_sec = 512.0;
+      p.cfg.incast_request_bytes =
+          static_cast<std::int64_t>(2'000'000 * spec.size_scale);
+    }
+    sw.points.push_back(std::move(p));
+  }
+  sw.metrics = [](const harness::FatTreeExperiment&,
+                  const harness::ExperimentResult& r) {
+    std::vector<Cell> row;
+    for (const auto& nv : r.uplink_queue_bytes.summary().named_values()) {
+      row.push_back(Cell(nv.second / 1e3, 1));
+    }
+    return row;
+  };
+  return sw;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto opts = harness::BenchOptions::parse(argc, argv);
+  if (opts.help) {
+    std::fputs(harness::BenchOptions::usage("bench_fig7_sweeps").c_str(),
+               stdout);
+    return 0;
+  }
+  if (!opts.ok) return 2;
+
   RunSpec spec;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--fast") == 0) {
-      spec.duration = sim::milliseconds(6);
-    } else if (std::strcmp(argv[i], "--full") == 0) {
-      spec.duration = sim::milliseconds(100);
-      spec.size_scale = 1.0;
-      spec.pct = 99.9;
-    }
+  if (opts.fast) spec.duration = sim::milliseconds(6);
+  if (opts.full) {
+    spec.duration = sim::milliseconds(100);
+    spec.size_scale = 1.0;
+    spec.pct = 99.9;
   }
   const std::vector<std::string> algos = {"powertcp", "theta-powertcp",
                                           "hpcc"};
-  fig7ab(spec, algos);
-  fig7cdef(spec, algos);
-  fig7gh(spec, algos);
-  return 0;
+
+  harness::BenchReporter reporter("bench_fig7_sweeps", opts);
+  reporter.add(reporter.runner().run(fig7ab(spec, algos)));
+  reporter.add(reporter.runner().run(fig7cd(spec, algos)));
+  reporter.add(reporter.runner().run(fig7ef(spec, algos)));
+  reporter.add(reporter.runner().run(fig7gh(spec, algos, false)));
+  reporter.add(reporter.runner().run(fig7gh(spec, algos, true)));
+  return reporter.finish();
 }

@@ -9,28 +9,38 @@ EventId Simulator::schedule_at(TimePs t, Callback cb) {
                                 format_time(now_));
   }
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Event{t, seq, std::move(cb)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].seq = seq;
+  slots_[slot].cb = std::move(cb);
+  heap_.push(Entry{t, seq, slot});
   ++live_events_;
-  return EventId{seq};
+  return EventId{seq, slot};
 }
 
 bool Simulator::pop_and_run_next(TimePs limit) {
   while (!heap_.empty()) {
-    const Event& top = heap_.top();
-    if (top.time > limit) return false;
-    // Lazy-cancelled events are discarded without executing.
-    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      --live_events_;
+    const Entry top = heap_.top();
+    // Tombstone: the slot was freed at cancel time (and possibly reused
+    // for a newer event, whose seq then differs).
+    if (slots_[top.slot].seq != top.seq) {
       heap_.pop();
       continue;
     }
-    Event ev{top.time, top.seq, std::move(const_cast<Event&>(top).cb)};
+    if (top.time > limit) return false;
     heap_.pop();
+    Callback cb = std::move(slots_[top.slot].cb);
+    release_slot(top.slot);
     --live_events_;
-    now_ = ev.time;
+    now_ = top.time;
     ++executed_;
-    ev.cb();
+    cb();
     return true;
   }
   return false;

@@ -4,7 +4,6 @@
 #include <functional>
 #include <queue>
 #include <stdexcept>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -17,12 +16,21 @@
 /// run is a pure function of its inputs and RNG seed. This determinism is
 /// relied on by the regression tests, which compare whole packet traces
 /// across runs.
+///
+/// Storage is split between a priority queue of small POD entries
+/// (time, seq, slot) and a slot table holding the callbacks. Cancelling
+/// frees the slot immediately — an O(1) generation check against the
+/// EventId's seq, with no lookaside set that could grow when stale ids
+/// are cancelled — and leaves only the POD heap entry behind as a
+/// tombstone that is discarded when it reaches the top.
 
 namespace powertcp::sim {
 
 /// Handle for a scheduled event; usable with Simulator::cancel().
+/// A default-constructed EventId refers to no event.
 struct EventId {
   std::uint64_t seq = 0;
+  std::uint32_t slot = 0;
   constexpr bool operator==(const EventId&) const = default;
 };
 
@@ -45,9 +53,16 @@ class Simulator {
     return schedule_at(now_ + delay, std::move(cb));
   }
 
-  /// Cancels a pending event. Cancelling an already-fired or unknown
-  /// event is a harmless no-op (lazy deletion).
-  void cancel(EventId id) { cancelled_.insert(id.seq); }
+  /// Cancels a pending event and releases its callback immediately.
+  /// Cancelling an already-fired, already-cancelled, or default
+  /// EventId is a harmless no-op and allocates nothing.
+  void cancel(EventId id) {
+    if (id.seq == 0 || id.slot >= slots_.size()) return;
+    Slot& s = slots_[id.slot];
+    if (s.seq != id.seq) return;  // fired or superseded: stale handle
+    release_slot(id.slot);
+    --live_events_;
+  }
 
   /// Runs until the event queue drains or stop() is called.
   void run();
@@ -59,26 +74,46 @@ class Simulator {
   /// Stops the run loop after the current event returns.
   void stop() { stopped_ = true; }
 
+  /// True while at least one *live* (not cancelled) event is scheduled.
   bool pending() const { return live_events_ > 0; }
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Heap entries for cancelled events awaiting lazy removal. Bounded by
+  /// the number of currently scheduled events ever in flight; regression
+  /// tests assert it never grows from cancelling stale ids.
+  std::size_t tombstones() const {
+    return heap_.size() - static_cast<std::size_t>(live_events_);
+  }
+
  private:
-  struct Event {
+  struct Entry {
     TimePs time;
     std::uint64_t seq;
-    Callback cb;
+    std::uint32_t slot;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
+  struct Slot {
+    std::uint64_t seq = 0;  ///< 0 = free; else seq of the event it holds
+    Callback cb;
+  };
+
+  void release_slot(std::uint32_t idx) {
+    Slot& s = slots_[idx];
+    s.seq = 0;
+    s.cb = nullptr;
+    free_slots_.push_back(idx);
+  }
 
   bool pop_and_run_next(TimePs limit);
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   TimePs now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;

@@ -67,6 +67,30 @@ double Samples::cdf_at(double x) const {
          static_cast<double>(sorted_.size());
 }
 
+std::vector<std::pair<const char*, double>> SampleSummary::named_values()
+    const {
+  return {{"min", min}, {"max", max}, {"mean", mean}, {"p50", p50},
+          {"p90", p90}, {"p99", p99}, {"p99.9", p999}};
+}
+
+SampleSummary Samples::summary() const {
+  SampleSummary s;
+  s.count = values_.size();
+  if (values_.empty()) {
+    const double nan = std::nan("");
+    s.min = s.max = s.mean = s.p50 = s.p90 = s.p99 = s.p999 = nan;
+    return s;
+  }
+  s.min = min();
+  s.max = max();
+  s.mean = mean();
+  s.p50 = percentile(50);
+  s.p90 = percentile(90);
+  s.p99 = percentile(99);
+  s.p999 = percentile(99.9);
+  return s;
+}
+
 std::vector<std::pair<double, double>> Samples::cdf_curve(
     std::size_t points) const {
   ensure_sorted();

@@ -11,6 +11,20 @@
 
 namespace powertcp::stats {
 
+/// Serializable five-number-plus summary of a sample set; the shape the
+/// sweep runner's CSV/JSON emitters and the bench tables report. An
+/// empty sample set yields count == 0 and NaN statistics (rendered as
+/// missing cells / JSON null downstream).
+struct SampleSummary {
+  std::size_t count = 0;
+  double min = 0, max = 0, mean = 0;
+  double p50 = 0, p90 = 0, p99 = 0, p999 = 0;
+
+  /// (name, value) view over the statistic fields, in reporting order —
+  /// keeps column headers and serialized keys in one place.
+  std::vector<std::pair<const char*, double>> named_values() const;
+};
+
 /// Accumulates double samples; computes exact percentiles by sorting on
 /// demand (sort is cached until the next insertion).
 class Samples {
@@ -36,6 +50,10 @@ class Samples {
   /// (value, cumulative fraction) pairs at `points` evenly spaced ranks,
   /// suitable for plotting the full CDF curve.
   std::vector<std::pair<double, double>> cdf_curve(std::size_t points) const;
+
+  /// Serializable summary (count/min/max/mean + p50/p90/p99/p99.9).
+  /// Unlike the throwing accessors, safe on an empty set (NaN stats).
+  SampleSummary summary() const;
 
   const std::vector<double>& values() const { return values_; }
 

@@ -101,6 +101,85 @@ TEST(Simulator, CancelOnlyAffectsTargetEvent) {
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
 }
 
+TEST(Simulator, CancelDecrementsPendingImmediately) {
+  // Regression: pending() used to count cancelled-but-unpopped events as
+  // live, so a drain loop keyed on pending() saw phantom work.
+  Simulator s;
+  const EventId a = s.schedule_at(nanoseconds(10), [] {});
+  const EventId b = s.schedule_at(nanoseconds(20), [] {});
+  EXPECT_TRUE(s.pending());
+  s.cancel(a);
+  EXPECT_TRUE(s.pending());
+  s.cancel(b);
+  EXPECT_FALSE(s.pending());  // only tombstones remain
+  s.run();
+  EXPECT_EQ(s.events_executed(), 0u);
+}
+
+TEST(Simulator, RepeatedCancelOfSameIdDecrementsOnce) {
+  Simulator s;
+  const EventId a = s.schedule_at(nanoseconds(10), [] {});
+  s.schedule_at(nanoseconds(20), [] {});
+  s.cancel(a);
+  s.cancel(a);
+  s.cancel(a);
+  EXPECT_TRUE(s.pending());  // the second event is still live
+}
+
+TEST(Simulator, StaleCancelBookkeepingStaysBounded) {
+  // Regression: cancelling an already-fired (or default) id used to
+  // insert a seq into a lazy-deletion set that was never erased,
+  // growing without bound across a long run.
+  Simulator s;
+  for (int round = 0; round < 100; ++round) {
+    const EventId id = s.schedule_at(s.now(), [] {});
+    s.run();
+    for (int i = 0; i < 10; ++i) s.cancel(id);  // fired: stale handle
+    s.cancel(EventId{});                        // never scheduled
+    EXPECT_EQ(s.tombstones(), 0u);
+    EXPECT_FALSE(s.pending());
+  }
+}
+
+TEST(Simulator, TombstonesDrainOnPop) {
+  Simulator s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(s.schedule_at(nanoseconds(i), [] {}));
+  }
+  for (int i = 0; i < 10; i += 2) s.cancel(ids[static_cast<size_t>(i)]);
+  EXPECT_EQ(s.tombstones(), 5u);
+  s.run();
+  EXPECT_EQ(s.tombstones(), 0u);
+  EXPECT_EQ(s.events_executed(), 5u);
+}
+
+TEST(Simulator, StaleHandleDoesNotCancelSlotReuser) {
+  // A freed slot may be reused by a newer event; the old handle's seq
+  // no longer matches, so cancelling it must not touch the new event.
+  Simulator s;
+  const EventId old_id = s.schedule_at(nanoseconds(10), [] {});
+  s.cancel(old_id);
+  int fired = 0;
+  s.schedule_at(nanoseconds(20), [&] { ++fired; });  // reuses the slot
+  s.cancel(old_id);                                  // stale: must no-op
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelInsideRunningCallbackOfSelfIsNoOp) {
+  Simulator s;
+  EventId self{};
+  int fired = 0;
+  self = s.schedule_at(nanoseconds(10), [&] {
+    ++fired;
+    s.cancel(self);  // own event is already executing: harmless
+  });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.tombstones(), 0u);
+}
+
 TEST(Simulator, RunUntilLeavesLaterEventsPending) {
   Simulator s;
   int fired = 0;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace powertcp::stats {
 namespace {
 
@@ -9,6 +11,31 @@ Samples make(std::initializer_list<double> vs) {
   Samples s;
   for (double v : vs) s.add(v);
   return s;
+}
+
+TEST(Samples, SummaryIsSerializableForm) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  const SampleSummary sum = s.summary();
+  EXPECT_EQ(sum.count, 100u);
+  EXPECT_DOUBLE_EQ(sum.min, 1.0);
+  EXPECT_DOUBLE_EQ(sum.max, 100.0);
+  EXPECT_DOUBLE_EQ(sum.mean, 50.5);
+  EXPECT_DOUBLE_EQ(sum.p50, s.percentile(50));
+  EXPECT_DOUBLE_EQ(sum.p99, s.percentile(99));
+  EXPECT_DOUBLE_EQ(sum.p999, s.percentile(99.9));
+  const auto named = sum.named_values();
+  ASSERT_EQ(named.size(), 7u);
+  EXPECT_STREQ(named.front().first, "min");
+  EXPECT_STREQ(named.back().first, "p99.9");
+  EXPECT_DOUBLE_EQ(named.back().second, sum.p999);
+}
+
+TEST(Samples, EmptySummaryIsSafeAndNaN) {
+  const SampleSummary sum = Samples().summary();
+  EXPECT_EQ(sum.count, 0u);
+  EXPECT_TRUE(std::isnan(sum.p50));
+  EXPECT_TRUE(std::isnan(sum.max));
 }
 
 TEST(Samples, EmptyThrowsOnStatistics) {
