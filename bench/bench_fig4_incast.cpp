@@ -9,181 +9,17 @@
 /// reaches ~2x PowerTCP's buffer peak and loses throughput afterwards;
 /// TIMELY controls neither; HOMA sustains throughput but holds queues.
 ///
-/// The per-algorithm simulations are independent and run on the
-/// --threads=N pool; output is identical for every N.
+/// The scenario lives in harness/scenarios.* (shared with
+/// `powertcp_run configs/fig4_quick.toml`); per-algorithm simulations
+/// are independent and run on the --threads=N pool with output
+/// identical for every N.
 
 #include <cstdio>
-#include <functional>
-#include <string>
-#include <vector>
 
-#include "cc/factory.hpp"
 #include "harness/bench_opts.hpp"
-#include "harness/experiment.hpp"
-#include "harness/sweep.hpp"
-#include "host/homa.hpp"
-#include "net/network.hpp"
-#include "sim/simulator.hpp"
-#include "stats/timeseries.hpp"
-#include "topo/fat_tree.hpp"
+#include "harness/runner.hpp"
 
 using namespace powertcp;
-using harness::Cell;
-
-namespace {
-
-struct Series {
-  std::vector<double> gbps;
-  std::vector<double> queue_kb;
-};
-
-Series run(const std::string& algo, int fan_in, std::int64_t query_bytes,
-           sim::TimePs horizon, sim::TimePs bin) {
-  sim::Simulator simulator;
-  net::Network network(simulator);
-  topo::FatTreeConfig cfg = topo::FatTreeConfig::quick();
-  cfg.ecn = harness::ecn_profile_for(algo);
-  cfg.priority_bands = algo == "homa" ? 8 : 0;
-  topo::FatTree fabric(network, cfg);
-
-  cc::FlowParams params;
-  params.host_bw = cfg.host_bw;
-  params.base_rtt = fabric.max_base_rtt();
-  params.expected_flows = 8;
-
-  const int receiver = 0;
-  const int long_sender = fabric.host_count() - 1;
-  stats::ThroughputSeries goodput(0, bin);
-  fabric.host(receiver).set_data_callback(
-      [&goodput](net::FlowId, std::int64_t bytes, sim::TimePs now) {
-        goodput.add_bytes(now, bytes);
-      });
-  stats::QueueSeries queue;
-  fabric.tor(0).port(fabric.tor_down_port(receiver)).set_queue_monitor(&queue);
-
-  // Paper setup: ten *long* flows join the long flow's receiver at
-  // t=500us; the large-scale case additionally fans a query of
-  // `query_bytes` total across every other server (each responder sends
-  // query_bytes / fan_in, ~8 KB at the paper's 2MB/255).
-  const sim::TimePs burst_at = sim::microseconds(500);
-  const std::int64_t long_flow_bytes = 400'000'000;
-  const std::int64_t burst_bytes =
-      query_bytes > 0 ? std::max<std::int64_t>(1'000, query_bytes / fan_in)
-                      : long_flow_bytes;
-
-  if (algo == "homa") {
-    host::HomaConfig hc;
-    hc.rtt_bytes = static_cast<std::int64_t>(params.bdp_bytes());
-    for (int h = 0; h < fabric.host_count(); ++h) {
-      fabric.host(h).enable_homa(hc);
-    }
-    host::Host& ls = fabric.host(long_sender);
-    simulator.schedule_at(0, [&ls, &fabric, receiver] {
-      ls.homa()->send_message(1, fabric.host_node(receiver), 400'000'000);
-    });
-    // Ten long companions as in the paper's top row.
-    for (int i = 0; i < 10; ++i) {
-      const int s = 1 + i;
-      host::Host& h = fabric.host(cfg.servers_per_tor + s);
-      const net::FlowId fid = static_cast<net::FlowId>(10 + i);
-      simulator.schedule_at(burst_at, [&h, fid, &fabric, receiver] {
-        h.homa()->send_message(fid, fabric.host_node(receiver),
-                               400'000'000);
-      });
-    }
-    int id = 100;
-    for (int i = 0; query_bytes > 0 && i < fan_in; ++i) {
-      const int responder = cfg.servers_per_tor +
-                            i % (fabric.host_count() - cfg.servers_per_tor -
-                                 1);
-      host::Host& h = fabric.host(responder);
-      const net::FlowId fid = static_cast<net::FlowId>(id++);
-      simulator.schedule_at(burst_at, [&h, fid, &fabric, receiver,
-                                       burst_bytes] {
-        h.homa()->send_message(fid, fabric.host_node(receiver), burst_bytes);
-      });
-    }
-  } else {
-    const cc::CcFactory factory = cc::make_factory(algo);
-    fabric.host(long_sender)
-        .start_flow(1, fabric.host_node(receiver), long_flow_bytes,
-                    factory(params), params, 0);
-    // Ten long companions (the 10:1 incast of the top row).
-    for (int i = 0; i < 10; ++i) {
-      const int responder = cfg.servers_per_tor + 1 + i;
-      fabric.host(responder).start_flow(
-          static_cast<net::FlowId>(10 + i), fabric.host_node(receiver),
-          long_flow_bytes, factory(params), params, burst_at);
-    }
-    // The query fan-in of the bottom row.
-    for (int i = 0; query_bytes > 0 && i < fan_in; ++i) {
-      const int responder = cfg.servers_per_tor +
-                            i % (fabric.host_count() - cfg.servers_per_tor -
-                                 1);
-      fabric.host(responder).start_flow(
-          static_cast<net::FlowId>(100 + i), fabric.host_node(receiver),
-          burst_bytes, factory(params), params, burst_at);
-    }
-  }
-
-  simulator.run_until(horizon);
-
-  Series out;
-  const auto bins = static_cast<std::size_t>(horizon / bin);
-  for (std::size_t b = 0; b < bins; ++b) {
-    out.gbps.push_back(goodput.gbps(b));
-    out.queue_kb.push_back(
-        static_cast<double>(queue.at(goodput.bin_start(b) + bin / 2)) / 1e3);
-  }
-  return out;
-}
-
-harness::ResultTable table(harness::SweepRunner& runner,
-                           const std::vector<std::string>& algos, int fan_in,
-                           std::int64_t query_bytes, sim::TimePs horizon,
-                           sim::TimePs bin) {
-  std::vector<std::function<Series()>> jobs;
-  jobs.reserve(algos.size());
-  for (const auto& a : algos) {
-    jobs.push_back([a, fan_in, query_bytes, horizon, bin] {
-      return run(a, fan_in, query_bytes, horizon, bin);
-    });
-  }
-  const std::vector<Series> rows = runner.map(jobs);
-
-  harness::ResultTable t;
-  if (query_bytes > 0) {
-    char title[96];
-    std::snprintf(title, sizeof(title),
-                  "10 long flows + %d:1 query incast (%lld KB total) "
-                  "at t=500us",
-                  fan_in, static_cast<long long>(query_bytes / 1000));
-    t.title = title;
-    t.slug = "fig4_query";
-  } else {
-    t.title = "10:1 incast of long flows at t=500us";
-    t.slug = "fig4_10to1";
-  }
-  t.key_columns = {"time"};
-  for (const auto& a : algos) {
-    t.value_columns.push_back(a + " gbps");
-    t.value_columns.push_back(a + " qKB");
-  }
-  const auto bins = rows.front().gbps.size();
-  for (std::size_t b = 0; b < bins; b += 2) {
-    harness::ResultTable::Row row;
-    row.keys = {
-        Cell(sim::format_time(static_cast<sim::TimePs>(b) * bin))};
-    for (const auto& r : rows) {
-      row.values.push_back(Cell(r.gbps[b], 1));
-      row.values.push_back(Cell(r.queue_kb[b], 1));
-    }
-    t.rows.push_back(std::move(row));
-  }
-  return t;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const auto opts = harness::BenchOptions::parse(argc, argv);
@@ -194,14 +30,21 @@ int main(int argc, char** argv) {
   }
   if (!opts.ok) return 2;
 
-  const std::vector<std::string> algos = {"powertcp", "theta-powertcp",
-                                          "timely", "hpcc", "homa"};
+  std::vector<harness::SchemeRun> schemes;
+  for (const char* name :
+       {"powertcp", "theta-powertcp", "timely", "hpcc", "homa"}) {
+    schemes.push_back(harness::SchemeRun{"", name, {}});
+  }
+  harness::IncastScenario scenario;  // quick fat-tree, 3ms horizon
+
   harness::BenchReporter reporter("bench_fig4_incast", opts);
   // Top row: 10:1 of long flows. Bottom row: additionally every remote
   // host answers a 2 MB query (the paper's 255:1 scaled to this fabric).
-  reporter.add(table(reporter.runner(), algos, 10, 0, sim::milliseconds(3),
-                     sim::microseconds(50)));
-  reporter.add(table(reporter.runner(), algos, 55, 2'000'000,
-                     sim::milliseconds(3), sim::microseconds(50)));
+  reporter.add(harness::incast_figure_table(reporter.runner(), scenario,
+                                            schemes, "fig4"));
+  scenario.fan_in = 55;
+  scenario.query_bytes = 2'000'000;
+  reporter.add(harness::incast_figure_table(reporter.runner(), scenario,
+                                            schemes, "fig4"));
   return reporter.finish();
 }

@@ -2,6 +2,11 @@
 /// under the web search workload at 20% and 60% ToR-uplink load, for
 /// PowerTCP, θ-PowerTCP, HPCC, DCQCN, TIMELY and HOMA.
 ///
+/// The default run is the same RunnerConfig that
+/// `powertcp_run configs/fig6_quick.toml` loads — the two produce
+/// identical tables (pinned by RunnerGolden.Fig6ConfigMatchesBench).
+/// --fast / --full adjust the horizon and scale as before.
+///
 /// Scaling note (docs/architecture.md, "Bench scaling conventions"):
 /// the default run uses the quick fat-tree
 /// (64 hosts) with websearch sizes scaled by 0.1 so enough flows finish
@@ -14,78 +19,11 @@
 /// PowerTCP; DCQCN/TIMELY far worse on short flows; HOMA worst at load.
 
 #include <cstdio>
-#include <string>
-#include <vector>
 
 #include "harness/bench_opts.hpp"
-#include "harness/sweep.hpp"
+#include "harness/runner.hpp"
 
 using namespace powertcp;
-using harness::Cell;
-
-namespace {
-
-struct RunSpec {
-  bool full = false;
-  sim::TimePs duration = sim::milliseconds(20);
-  double size_scale = 0.1;
-  double pct = 99.0;
-};
-
-harness::SweepSpec load_sweep(double load, const RunSpec& spec,
-                              const std::vector<std::string>& algos) {
-  harness::SweepSpec sw;
-  char title[128];
-  std::snprintf(title, sizeof(title),
-                "%.0f%% ToR-uplink load, websearch (x%.2f sizes), "
-                "p%.1f slowdown per size bucket",
-                load * 100, spec.size_scale, spec.pct);
-  sw.title = title;
-  char slug[32];
-  std::snprintf(slug, sizeof(slug), "fig6_load%.0f", load * 100);
-  sw.slug = slug;
-  sw.key_columns = {"algorithm"};
-  for (const auto& b : stats::paper_size_buckets()) {
-    sw.value_columns.push_back(b.label);
-  }
-  sw.value_columns.insert(sw.value_columns.end(),
-                          {"allP50", "drops", "flows", "done%"});
-  for (const auto& algo : algos) {
-    harness::SweepPoint p;
-    p.keys = {Cell(algo)};
-    if (spec.full) p.cfg.topo = topo::FatTreeConfig();  // paper scale
-    p.cfg.cc = algo;
-    p.cfg.uplink_load = load;
-    p.cfg.duration = spec.duration;
-    p.cfg.size_scale = spec.size_scale;
-    p.cfg.seed = 42;
-    sw.points.push_back(std::move(p));
-  }
-  sw.metrics = [spec](const harness::FatTreeExperiment&,
-                      const harness::ExperimentResult& r) {
-    std::vector<Cell> row;
-    // Buckets are defined on unscaled sizes; rescale the edges.
-    std::int64_t lo = 0;
-    for (const auto& b : stats::paper_size_buckets()) {
-      const auto hi = static_cast<std::int64_t>(
-          static_cast<double>(b.upper_bytes) * spec.size_scale);
-      const auto s = r.fct.slowdowns_in_range(lo, hi);
-      row.push_back(s.count() >= 5 ? Cell(s.percentile(spec.pct), 2)
-                                   : Cell());
-      lo = hi;
-    }
-    const auto all = r.fct.all_slowdowns();
-    row.push_back(all.empty() ? Cell() : Cell(all.percentile(50), 2));
-    row.push_back(Cell::integer(static_cast<std::int64_t>(r.drops)));
-    row.push_back(
-        Cell::integer(static_cast<std::int64_t>(r.flows_started)));
-    row.push_back(Cell(r.completion_rate() * 100, 1));
-    return row;
-  };
-  return sw;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const auto opts = harness::BenchOptions::parse(argc, argv);
@@ -96,19 +34,11 @@ int main(int argc, char** argv) {
   }
   if (!opts.ok) return 2;
 
-  RunSpec spec;
-  if (opts.fast) spec.duration = sim::milliseconds(8);
-  if (opts.full) {
-    spec.full = true;
-    spec.duration = sim::milliseconds(100);
-    spec.size_scale = 1.0;
-    spec.pct = 99.9;
-  }
-  const std::vector<std::string> algos = {"powertcp", "theta-powertcp",
-                                          "hpcc",     "dcqcn",
-                                          "timely",   "homa"};
+  const harness::RunnerConfig rc =
+      harness::fig6_runner_config(opts.fast, opts.full);
   harness::BenchReporter reporter("bench_fig6_fct", opts);
-  reporter.add(reporter.runner().run(load_sweep(0.2, spec, algos)));
-  reporter.add(reporter.runner().run(load_sweep(0.6, spec, algos)));
+  for (auto& table : harness::run_config(rc, reporter.runner())) {
+    reporter.add(std::move(table));
+  }
   return reporter.finish();
 }

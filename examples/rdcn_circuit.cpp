@@ -6,8 +6,7 @@
 #include <cstdio>
 #include <string>
 
-#include "cc/power_tcp.hpp"
-#include "cc/retcp.hpp"
+#include "cc/registry.hpp"
 #include "host/flow.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
@@ -33,6 +32,22 @@ void run(const std::string& algo) {
   params.base_rtt = tau;
   params.expected_flows = 10;  // N in beta = HostBw*tau/N (small q_e)
 
+  // Both schemes come out of the registry: the SchemeTopology hands
+  // reTCP the rotor schedule and bandwidths it needs, and `key=value`
+  // params select the §5 case-study configuration.
+  cc::SchemeTopology scheme_topo;
+  scheme_topo.circuit = &rdcn.schedule();
+  scheme_topo.circuit_bw_bps = cfg.circuit_bw.bps();
+  scheme_topo.packet_bw_bps = cfg.packet_bw.bps();
+  const cc::ParamMap scheme_params =
+      algo == "powertcp"
+          // Per-RTT updates (§5's fair-comparison mode) and a window
+          // clamp of 4 BDP (the circuit BDP is 4x the packet BDP).
+          ? cc::ParamMap{{"per_rtt_update", "true"}, {"max_cwnd_bdp", "4"}}
+          : cc::ParamMap{{"prebuffering_us", "600"}};
+  const cc::FlowCcFactory factory =
+      cc::Registry::instance().at(algo).make(scheme_params, scheme_topo);
+
   // All four hosts of rack 0 stream to distinct hosts of rack 1.
   stats::ThroughputSeries goodput(0, sim::microseconds(25));
   const int senders = cfg.servers_per_tor;
@@ -42,24 +57,11 @@ void run(const std::string& algo) {
         [&goodput](net::FlowId, std::int64_t bytes, sim::TimePs now) {
           goodput.add_bytes(now, bytes);
         });
-    std::unique_ptr<cc::CcAlgorithm> cc_algo;
-    if (algo == "powertcp") {
-      cc::PowerTcpConfig pcfg;
-      pcfg.per_rtt_update = true;  // §5's fair-comparison mode
-      pcfg.max_cwnd_bdp = 4.0;     // circuit BDP is 4x the packet BDP
-      cc_algo = std::make_unique<cc::PowerTcp>(params, pcfg);
-    } else {
-      cc::ReTcpConfig rcfg;
-      rcfg.prebuffering = sim::microseconds(600);
-      rcfg.circuit_bw_bps = cfg.circuit_bw.bps();
-      rcfg.packet_bw_bps = cfg.packet_bw.bps();
-      cc_algo = std::make_unique<cc::ReTcp>(params, &rdcn.schedule(), 0, 1,
-                                            rcfg);
-    }
     rdcn.host(s).start_flow(static_cast<net::FlowId>(s + 1),
                             rdcn.host(dst_host).id(),
-                            /*size=*/1'000'000'000, std::move(cc_algo),
-                            params, /*start=*/0);
+                            /*size=*/1'000'000'000,
+                            factory(params, cc::FlowEndpoints{0, 1}), params,
+                            /*start=*/0);
   }
 
   stats::QueueSeries voq;

@@ -5,6 +5,42 @@
 
 namespace powertcp::cc {
 
+const std::vector<ParamSpec>& new_reno_param_specs() {
+  static const std::vector<ParamSpec> kSpecs = {
+      {"dupack_threshold", "3", "duplicate acks triggering fast recovery"},
+      {"ssthresh_factor", "0.5", "window factor on loss"},
+  };
+  return kSpecs;
+}
+
+NewRenoConfig new_reno_config_from_params(const ParamMap& overrides) {
+  const ParamReader r("newreno", overrides, new_reno_param_specs());
+  NewRenoConfig cfg;
+  cfg.dupack_threshold =
+      static_cast<int>(r.get_int("dupack_threshold", cfg.dupack_threshold));
+  cfg.ssthresh_factor = r.get_double("ssthresh_factor", cfg.ssthresh_factor);
+  return cfg;
+}
+
+const std::vector<ParamSpec>& cubic_param_specs() {
+  static const std::vector<ParamSpec> kSpecs = {
+      {"c", "0.4", "CUBIC aggressiveness constant"},
+      {"beta", "0.7", "multiplicative decrease"},
+      {"dupack_threshold", "3", "duplicate acks triggering fast recovery"},
+  };
+  return kSpecs;
+}
+
+CubicConfig cubic_config_from_params(const ParamMap& overrides) {
+  const ParamReader r("cubic", overrides, cubic_param_specs());
+  CubicConfig cfg;
+  cfg.c = r.get_double("c", cfg.c);
+  cfg.beta = r.get_double("beta", cfg.beta);
+  cfg.dupack_threshold =
+      static_cast<int>(r.get_int("dupack_threshold", cfg.dupack_threshold));
+  return cfg;
+}
+
 NewReno::NewReno(const FlowParams& params, const NewRenoConfig& cfg)
     : params_(params), cfg_(cfg) {
   max_cwnd_ = std::max<double>(params_.mss, params_.bdp_bytes() * 4.0);

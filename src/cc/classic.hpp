@@ -1,6 +1,9 @@
 #pragma once
 
+#include <vector>
+
 #include "cc/cc_algorithm.hpp"
+#include "cc/params.hpp"
 
 /// \file classic.hpp
 /// The loss-based classics of the paper's Fig. 1 taxonomy ("CUBIC,
@@ -15,6 +18,10 @@ struct NewRenoConfig {
   int dupack_threshold = 3;
   double ssthresh_factor = 0.5;
 };
+
+/// Registry param table and `key=value` parser (see power_tcp.hpp).
+const std::vector<ParamSpec>& new_reno_param_specs();
+NewRenoConfig new_reno_config_from_params(const ParamMap& overrides);
 
 /// TCP NewReno congestion avoidance: slow start to ssthresh, then one
 /// MSS per RTT; halve on triple dupack; collapse to one MSS on RTO.
@@ -49,6 +56,10 @@ struct CubicConfig {
   double beta = 0.7;       ///< multiplicative decrease
   int dupack_threshold = 3;
 };
+
+/// Registry param table and `key=value` parser (see power_tcp.hpp).
+const std::vector<ParamSpec>& cubic_param_specs();
+CubicConfig cubic_config_from_params(const ParamMap& overrides);
 
 /// CUBIC (Ha et al. 2008): window grows as a cubic of the time since
 /// the last decrease, plateauing at the pre-loss window W_max.

@@ -4,6 +4,39 @@
 
 namespace powertcp::cc {
 
+const std::vector<ParamSpec>& dcqcn_param_specs() {
+  static const std::vector<ParamSpec> kSpecs = {
+      {"g", "0.00390625", "alpha EWMA gain"},
+      {"cnp_interval_us", "50", "min spacing of congestion notifications"},
+      {"alpha_timer_us", "55", "alpha decay period"},
+      {"increase_timer_us", "55", "rate-increase timer period"},
+      {"increase_bytes", "10000000", "byte counter per increase stage"},
+      {"fast_recovery_stages", "5", "stages before additive increase"},
+      {"rate_ai_bps", "-1", "additive increase; <0 derives HostBw/640"},
+      {"rate_hai_bps", "-1", "hyper increase; <0 derives HostBw/64"},
+      {"min_rate_fraction", "0.001", "rate floor as a fraction of HostBw"},
+  };
+  return kSpecs;
+}
+
+DcqcnConfig dcqcn_config_from_params(const ParamMap& overrides) {
+  const ParamReader r("dcqcn", overrides, dcqcn_param_specs());
+  DcqcnConfig cfg;
+  cfg.g = r.get_double("g", cfg.g);
+  cfg.cnp_interval = r.get_microseconds("cnp_interval_us", cfg.cnp_interval);
+  cfg.alpha_timer = r.get_microseconds("alpha_timer_us", cfg.alpha_timer);
+  cfg.increase_timer =
+      r.get_microseconds("increase_timer_us", cfg.increase_timer);
+  cfg.increase_bytes = r.get_int("increase_bytes", cfg.increase_bytes);
+  cfg.fast_recovery_stages = static_cast<int>(
+      r.get_int("fast_recovery_stages", cfg.fast_recovery_stages));
+  cfg.rate_ai_bps = r.get_double("rate_ai_bps", cfg.rate_ai_bps);
+  cfg.rate_hai_bps = r.get_double("rate_hai_bps", cfg.rate_hai_bps);
+  cfg.min_rate_fraction =
+      r.get_double("min_rate_fraction", cfg.min_rate_fraction);
+  return cfg;
+}
+
 Dcqcn::Dcqcn(const FlowParams& params, const DcqcnConfig& cfg)
     : params_(params), cfg_(cfg) {
   rate_ai_ =

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <vector>
+
 #include "cc/cc_algorithm.hpp"
+#include "cc/params.hpp"
 
 /// \file dcqcn.hpp
 /// DCQCN (Zhu et al., SIGCOMM 2015): the ECN-based rate control deployed
@@ -30,6 +33,10 @@ struct DcqcnConfig {
   double rate_hai_bps = -1.0;
   double min_rate_fraction = 0.001;
 };
+
+/// Registry param table and `key=value` parser (see power_tcp.hpp).
+const std::vector<ParamSpec>& dcqcn_param_specs();
+DcqcnConfig dcqcn_config_from_params(const ParamMap& overrides);
 
 class Dcqcn final : public CcAlgorithm {
  public:

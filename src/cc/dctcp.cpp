@@ -4,6 +4,22 @@
 
 namespace powertcp::cc {
 
+const std::vector<ParamSpec>& dctcp_param_specs() {
+  static const std::vector<ParamSpec> kSpecs = {
+      {"g", "0.0625", "EWMA gain of the marked-fraction estimate"},
+      {"max_cwnd_bdp", "1.0", "window clamp as a multiple of HostBw*tau"},
+  };
+  return kSpecs;
+}
+
+DctcpConfig dctcp_config_from_params(const ParamMap& overrides) {
+  const ParamReader r("dctcp", overrides, dctcp_param_specs());
+  DctcpConfig cfg;
+  cfg.g = r.get_double("g", cfg.g);
+  cfg.max_cwnd_bdp = r.get_double("max_cwnd_bdp", cfg.max_cwnd_bdp);
+  return cfg;
+}
+
 Dctcp::Dctcp(const FlowParams& params, const DctcpConfig& cfg)
     : params_(params), cfg_(cfg) {
   max_cwnd_ = cfg_.max_cwnd_bdp * params_.bdp_bytes();

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <vector>
+
 #include "cc/cc_algorithm.hpp"
+#include "cc/params.hpp"
 
 /// \file dctcp.hpp
 /// DCTCP (Alizadeh et al., SIGCOMM 2010): the canonical ECN
@@ -15,6 +18,10 @@ struct DctcpConfig {
   double g = 1.0 / 16.0;
   double max_cwnd_bdp = 1.0;
 };
+
+/// Registry param table and `key=value` parser (see power_tcp.hpp).
+const std::vector<ParamSpec>& dctcp_param_specs();
+DctcpConfig dctcp_config_from_params(const ParamMap& overrides);
 
 class Dctcp final : public CcAlgorithm {
  public:

@@ -1,72 +1,36 @@
 #include "cc/factory.hpp"
 
-#include <memory>
 #include <stdexcept>
-#include <vector>
 
-#include "cc/classic.hpp"
-#include "cc/dcqcn.hpp"
-#include "cc/dctcp.hpp"
-#include "cc/hpcc.hpp"
-#include "cc/power_tcp.hpp"
-#include "cc/swift.hpp"
-#include "cc/theta_power_tcp.hpp"
-#include "cc/timely.hpp"
+#include "cc/registry.hpp"
 
 namespace powertcp::cc {
 
 CcFactory make_factory(const std::string& name) {
-  if (name == "powertcp") {
-    return [](const FlowParams& p) { return std::make_unique<PowerTcp>(p); };
+  const Scheme& scheme = Registry::instance().at(name);
+  if (scheme.message_transport) {
+    throw std::invalid_argument(
+        "make_factory: '" + name +
+        "' is a receiver-driven message transport, not a sender CC "
+        "algorithm — enable it via host::Host::enable_homa");
   }
-  if (name == "powertcp-rtt") {
-    return [](const FlowParams& p) {
-      PowerTcpConfig cfg;
-      cfg.per_rtt_update = true;
-      return std::make_unique<PowerTcp>(p, cfg);
-    };
-  }
-  if (name == "theta-powertcp") {
-    return [](const FlowParams& p) {
-      return std::make_unique<ThetaPowerTcp>(p);
-    };
-  }
-  if (name == "hpcc") {
-    return [](const FlowParams& p) { return std::make_unique<Hpcc>(p); };
-  }
-  if (name == "hpcc-rtt") {
-    return [](const FlowParams& p) {
-      HpccConfig cfg;
-      cfg.per_rtt_update = true;
-      return std::make_unique<Hpcc>(p, cfg);
-    };
-  }
-  if (name == "dcqcn") {
-    return [](const FlowParams& p) { return std::make_unique<Dcqcn>(p); };
-  }
-  if (name == "timely") {
-    return [](const FlowParams& p) { return std::make_unique<Timely>(p); };
-  }
-  if (name == "dctcp") {
-    return [](const FlowParams& p) { return std::make_unique<Dctcp>(p); };
-  }
-  if (name == "swift") {
-    return [](const FlowParams& p) { return std::make_unique<Swift>(p); };
-  }
-  if (name == "newreno") {
-    return [](const FlowParams& p) { return std::make_unique<NewReno>(p); };
-  }
-  if (name == "cubic") {
-    return [](const FlowParams& p) { return std::make_unique<Cubic>(p); };
-  }
-  throw std::invalid_argument("make_factory: unknown CC algorithm '" + name +
-                              "'");
+  // Default parameters and an empty topology; schemes with topology
+  // needs (reTCP) throw here with a pointer at the registry.
+  FlowCcFactory factory = scheme.make(ParamMap{}, SchemeTopology{});
+  return [factory](const FlowParams& p) { return factory(p, FlowEndpoints{}); };
 }
 
 const std::vector<std::string>& sender_cc_names() {
-  static const std::vector<std::string> kNames = {
-      "powertcp", "theta-powertcp", "hpcc",  "dcqcn", "timely",
-      "dctcp",    "swift",          "newreno", "cubic"};
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const Scheme& s : Registry::instance().schemes()) {
+      if (s.message_transport || s.rtt_variant || s.needs.circuit_schedule) {
+        continue;
+      }
+      names.push_back(s.name);
+    }
+    return names;
+  }();
   return kNames;
 }
 

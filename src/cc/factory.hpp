@@ -7,21 +7,24 @@
 
 /// \file factory.hpp
 /// Name-based construction of congestion control algorithms with their
-/// default (paper §4.1) configurations — the registry benches and
-/// examples select from.
+/// default (paper §4.1) configurations. A thin compatibility layer over
+/// cc::Registry (registry.hpp), which additionally exposes per-scheme
+/// tunables and topology needs.
 
 namespace powertcp::cc {
 
-/// Supported names: "powertcp", "powertcp-rtt" (per-RTT update mode),
-/// "theta-powertcp", "hpcc", "hpcc-rtt", "dcqcn", "timely", "dctcp",
-/// "swift", "newreno", "cubic". Throws std::invalid_argument for
-/// unknown names. (reTCP needs a CircuitSchedule and is constructed
-/// directly; the receiver-driven Homa transport lives in host/homa.)
+/// Supported names: every non-message-transport registry entry —
+/// "powertcp", "powertcp-rtt" (per-RTT update mode), "theta-powertcp",
+/// "hpcc", "hpcc-rtt", "dcqcn", "timely", "dctcp", "swift", "newreno",
+/// "cubic". Throws std::invalid_argument for unknown names, for
+/// "retcp" (which needs the CircuitSchedule a SchemeTopology carries —
+/// use Registry::at("retcp").make), and for "homa" (a receiver-driven
+/// transport enabled via host::Host::enable_homa).
 CcFactory make_factory(const std::string& name);
 
 /// Canonical algorithm names, one per scheme — excludes the "-rtt"
-/// update-mode variants, so benches iterating this list compare each
-/// scheme once.
+/// update-mode variants, the message transport, and circuit-bound
+/// schemes, so benches iterating this list compare each scheme once.
 const std::vector<std::string>& sender_cc_names();
 
 }  // namespace powertcp::cc

@@ -4,6 +4,30 @@
 
 namespace powertcp::cc {
 
+const std::vector<ParamSpec>& hpcc_param_specs() {
+  static const std::vector<ParamSpec> kSpecs = {
+      {"eta", "0.95", "target utilization"},
+      {"max_stage", "5", "max consecutive additive-increase rounds"},
+      {"wai_bytes", "-1",
+       "additive increase; <0 derives HostBw*tau*(1-eta)/N"},
+      {"max_cwnd_bdp", "1.0", "window clamp as a multiple of HostBw*tau"},
+      {"per_rtt_update", "false", "update once per RTT instead of per ack"},
+  };
+  return kSpecs;
+}
+
+HpccConfig hpcc_config_from_params(const ParamMap& overrides,
+                                   const std::string& scheme) {
+  const ParamReader r(scheme, overrides, hpcc_param_specs());
+  HpccConfig cfg;
+  cfg.eta = r.get_double("eta", cfg.eta);
+  cfg.max_stage = static_cast<int>(r.get_int("max_stage", cfg.max_stage));
+  cfg.wai_bytes = r.get_double("wai_bytes", cfg.wai_bytes);
+  cfg.max_cwnd_bdp = r.get_double("max_cwnd_bdp", cfg.max_cwnd_bdp);
+  cfg.per_rtt_update = r.get_bool("per_rtt_update", cfg.per_rtt_update);
+  return cfg;
+}
+
 Hpcc::Hpcc(const FlowParams& params, const HpccConfig& cfg)
     : params_(params),
       cfg_(cfg),

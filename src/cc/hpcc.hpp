@@ -1,6 +1,9 @@
 #pragma once
 
+#include <vector>
+
 #include "cc/cc_algorithm.hpp"
+#include "cc/params.hpp"
 
 /// \file hpcc.hpp
 /// HPCC (Li et al., SIGCOMM 2019) — the paper's strongest baseline and
@@ -25,6 +28,11 @@ struct HpccConfig {
   /// Update once per RTT only (RDCN case study mode, §5).
   bool per_rtt_update = false;
 };
+
+/// Registry param table and `key=value` parser (see power_tcp.hpp).
+const std::vector<ParamSpec>& hpcc_param_specs();
+HpccConfig hpcc_config_from_params(const ParamMap& overrides,
+                                   const std::string& scheme = "hpcc");
 
 class Hpcc final : public CcAlgorithm {
  public:

@@ -10,6 +10,27 @@ namespace {
 constexpr double kMinNormPower = 1e-6;
 }  // namespace
 
+const std::vector<ParamSpec>& power_tcp_param_specs() {
+  static const std::vector<ParamSpec> kSpecs = {
+      {"gamma", "0.9", "EWMA weight of window updates"},
+      {"beta_bytes", "-1", "additive increase; <0 derives HostBw*tau/N"},
+      {"per_rtt_update", "false", "update once per RTT instead of per ack"},
+      {"max_cwnd_bdp", "1.0", "window clamp as a multiple of HostBw*tau"},
+  };
+  return kSpecs;
+}
+
+PowerTcpConfig power_tcp_config_from_params(const ParamMap& overrides,
+                                            const std::string& scheme) {
+  const ParamReader r(scheme, overrides, power_tcp_param_specs());
+  PowerTcpConfig cfg;
+  cfg.gamma = r.get_double("gamma", cfg.gamma);
+  cfg.beta_bytes = r.get_double("beta_bytes", cfg.beta_bytes);
+  cfg.per_rtt_update = r.get_bool("per_rtt_update", cfg.per_rtt_update);
+  cfg.max_cwnd_bdp = r.get_double("max_cwnd_bdp", cfg.max_cwnd_bdp);
+  return cfg;
+}
+
 PowerTcp::PowerTcp(const FlowParams& params, const PowerTcpConfig& cfg)
     : params_(params),
       cfg_(cfg),

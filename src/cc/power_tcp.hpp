@@ -1,6 +1,9 @@
 #pragma once
 
+#include <vector>
+
 #include "cc/cc_algorithm.hpp"
+#include "cc/params.hpp"
 
 /// \file power_tcp.hpp
 /// PowerTCP (paper §3.3, Algorithm 1): window control driven by network
@@ -27,6 +30,14 @@ struct PowerTcpConfig {
   /// than one line-rate BDP in flight usefully; 1.0 matches cwnd_init.
   double max_cwnd_bdp = 1.0;
 };
+
+/// Declared tunables for the registry entries ("powertcp",
+/// "powertcp-rtt") and the `key=value` parser building a config from
+/// overrides; unknown keys or unparseable values throw
+/// std::invalid_argument naming `scheme`.
+const std::vector<ParamSpec>& power_tcp_param_specs();
+PowerTcpConfig power_tcp_config_from_params(
+    const ParamMap& overrides, const std::string& scheme = "powertcp");
 
 class PowerTcp final : public CcAlgorithm {
  public:

@@ -5,6 +5,27 @@
 
 namespace powertcp::cc {
 
+const std::vector<ParamSpec>& re_tcp_param_specs() {
+  static const std::vector<ParamSpec> kSpecs = {
+      {"prebuffering_us", "600", "window ramp-up lead before circuit days"},
+      {"scale", "-1",
+       "window multiplier; <0 derives circuit/packet bandwidth ratio"},
+      {"ramp_reference_us", "600",
+       "prebuffer duration that reaches exactly `scale`x"},
+  };
+  return kSpecs;
+}
+
+ReTcpConfig re_tcp_config_from_params(const ParamMap& overrides) {
+  const ParamReader r("retcp", overrides, re_tcp_param_specs());
+  ReTcpConfig cfg;
+  cfg.prebuffering = r.get_microseconds("prebuffering_us", cfg.prebuffering);
+  cfg.scale = r.get_double("scale", cfg.scale);
+  cfg.ramp_reference =
+      r.get_microseconds("ramp_reference_us", cfg.ramp_reference);
+  return cfg;
+}
+
 ReTcp::ReTcp(const FlowParams& params, const net::CircuitSchedule* schedule,
              int src_tor, int dst_tor, const ReTcpConfig& cfg)
     : params_(params),

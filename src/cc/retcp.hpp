@@ -1,6 +1,9 @@
 #pragma once
 
+#include <vector>
+
 #include "cc/cc_algorithm.hpp"
+#include "cc/params.hpp"
 #include "net/circuit.hpp"
 
 /// \file retcp.hpp
@@ -28,6 +31,12 @@ struct ReTcpConfig {
   /// standing queues, the latency cost Fig. 8b charges reTCP-1800us).
   sim::TimePs ramp_reference = sim::microseconds(600);
 };
+
+/// Registry param table and `key=value` parser (see power_tcp.hpp).
+/// Bandwidths are not parameters: the registry factory fills
+/// circuit_bw_bps / packet_bw_bps from its SchemeTopology.
+const std::vector<ParamSpec>& re_tcp_param_specs();
+ReTcpConfig re_tcp_config_from_params(const ParamMap& overrides);
 
 class ReTcp final : public CcAlgorithm {
  public:

@@ -4,6 +4,31 @@
 
 namespace powertcp::cc {
 
+const std::vector<ParamSpec>& swift_param_specs() {
+  static const std::vector<ParamSpec> kSpecs = {
+      {"target_rtt_factor", "1.25", "target delay as a multiple of tau"},
+      {"ai_mss_per_rtt", "1.0", "additive increase per RTT, in MSS"},
+      {"beta", "0.8", "multiplicative-decrease strength"},
+      {"max_mdf", "0.5", "max multiplicative-decrease fraction"},
+      {"max_cwnd_bdp", "1.0", "window clamp as a multiple of HostBw*tau"},
+      {"min_cwnd_bytes", "100", "window floor in bytes"},
+  };
+  return kSpecs;
+}
+
+SwiftConfig swift_config_from_params(const ParamMap& overrides) {
+  const ParamReader r("swift", overrides, swift_param_specs());
+  SwiftConfig cfg;
+  cfg.target_rtt_factor =
+      r.get_double("target_rtt_factor", cfg.target_rtt_factor);
+  cfg.ai_mss_per_rtt = r.get_double("ai_mss_per_rtt", cfg.ai_mss_per_rtt);
+  cfg.beta = r.get_double("beta", cfg.beta);
+  cfg.max_mdf = r.get_double("max_mdf", cfg.max_mdf);
+  cfg.max_cwnd_bdp = r.get_double("max_cwnd_bdp", cfg.max_cwnd_bdp);
+  cfg.min_cwnd_bytes = r.get_double("min_cwnd_bytes", cfg.min_cwnd_bytes);
+  return cfg;
+}
+
 Swift::Swift(const FlowParams& params, const SwiftConfig& cfg)
     : params_(params), cfg_(cfg) {
   target_delay_ = static_cast<sim::TimePs>(

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <vector>
+
 #include "cc/cc_algorithm.hpp"
+#include "cc/params.hpp"
 
 /// \file swift.hpp
 /// Swift (Kumar et al., SIGCOMM 2020): TIMELY's production successor and
@@ -19,6 +22,10 @@ struct SwiftConfig {
   double max_cwnd_bdp = 1.0;
   double min_cwnd_bytes = 100.0;
 };
+
+/// Registry param table and `key=value` parser (see power_tcp.hpp).
+const std::vector<ParamSpec>& swift_param_specs();
+SwiftConfig swift_config_from_params(const ParamMap& overrides);
 
 class Swift final : public CcAlgorithm {
  public:

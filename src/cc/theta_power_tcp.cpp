@@ -13,6 +13,26 @@ namespace {
 constexpr double kMinNormPower = 0.25;
 }
 
+const std::vector<ParamSpec>& theta_power_tcp_param_specs() {
+  static const std::vector<ParamSpec> kSpecs = {
+      {"gamma", "0.9", "EWMA weight of window updates"},
+      {"beta_bytes", "-1", "additive increase; <0 derives HostBw*tau/N"},
+      {"max_cwnd_bdp", "1.0", "window clamp as a multiple of HostBw*tau"},
+  };
+  return kSpecs;
+}
+
+ThetaPowerTcpConfig theta_power_tcp_config_from_params(
+    const ParamMap& overrides) {
+  const ParamReader r("theta-powertcp", overrides,
+                      theta_power_tcp_param_specs());
+  ThetaPowerTcpConfig cfg;
+  cfg.gamma = r.get_double("gamma", cfg.gamma);
+  cfg.beta_bytes = r.get_double("beta_bytes", cfg.beta_bytes);
+  cfg.max_cwnd_bdp = r.get_double("max_cwnd_bdp", cfg.max_cwnd_bdp);
+  return cfg;
+}
+
 ThetaPowerTcp::ThetaPowerTcp(const FlowParams& params,
                              const ThetaPowerTcpConfig& cfg)
     : params_(params),

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <vector>
+
 #include "cc/cc_algorithm.hpp"
+#include "cc/params.hpp"
 
 /// \file theta_power_tcp.hpp
 /// θ-PowerTCP (paper §3.5, Algorithm 2): the standalone variant for
@@ -22,6 +25,11 @@ struct ThetaPowerTcpConfig {
   double beta_bytes = -1.0;
   double max_cwnd_bdp = 1.0;
 };
+
+/// Registry param table and `key=value` parser (see power_tcp.hpp).
+const std::vector<ParamSpec>& theta_power_tcp_param_specs();
+ThetaPowerTcpConfig theta_power_tcp_config_from_params(
+    const ParamMap& overrides);
 
 class ThetaPowerTcp final : public CcAlgorithm {
  public:

@@ -4,6 +4,34 @@
 
 namespace powertcp::cc {
 
+const std::vector<ParamSpec>& timely_param_specs() {
+  static const std::vector<ParamSpec> kSpecs = {
+      {"alpha", "0.875", "EWMA weight of the RTT-difference filter"},
+      {"beta", "0.8", "multiplicative decrease factor"},
+      {"delta_bps", "-1", "additive step; <0 derives HostBw/100"},
+      {"t_low_us", "-1", "pure-AI threshold; <0 derives 1.5*tau"},
+      {"t_high_us", "-1", "forced-decrease threshold; <0 derives 5*tau"},
+      {"hai_threshold", "5", "negative-gradient streak enabling HAI"},
+      {"min_rate_fraction", "0.001", "rate floor as a fraction of HostBw"},
+  };
+  return kSpecs;
+}
+
+TimelyConfig timely_config_from_params(const ParamMap& overrides) {
+  const ParamReader r("timely", overrides, timely_param_specs());
+  TimelyConfig cfg;
+  cfg.alpha = r.get_double("alpha", cfg.alpha);
+  cfg.beta = r.get_double("beta", cfg.beta);
+  cfg.delta_bps = r.get_double("delta_bps", cfg.delta_bps);
+  cfg.t_low = r.get_microseconds("t_low_us", cfg.t_low);
+  cfg.t_high = r.get_microseconds("t_high_us", cfg.t_high);
+  cfg.hai_threshold =
+      static_cast<int>(r.get_int("hai_threshold", cfg.hai_threshold));
+  cfg.min_rate_fraction =
+      r.get_double("min_rate_fraction", cfg.min_rate_fraction);
+  return cfg;
+}
+
 Timely::Timely(const FlowParams& params, const TimelyConfig& cfg)
     : params_(params), cfg_(cfg) {
   t_low_ = cfg_.t_low >= 0 ? cfg_.t_low : params_.base_rtt * 3 / 2;

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <vector>
+
 #include "cc/cc_algorithm.hpp"
+#include "cc/params.hpp"
 
 /// \file timely.hpp
 /// TIMELY (Mittal et al., SIGCOMM 2015) — the paper's representative
@@ -25,6 +28,10 @@ struct TimelyConfig {
   int hai_threshold = 5;
   double min_rate_fraction = 0.001;  ///< floor as a fraction of HostBw
 };
+
+/// Registry param table and `key=value` parser (see power_tcp.hpp).
+const std::vector<ParamSpec>& timely_param_specs();
+TimelyConfig timely_config_from_params(const ParamMap& overrides);
 
 class Timely final : public CcAlgorithm {
  public:

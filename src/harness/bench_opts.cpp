@@ -109,8 +109,9 @@ int BenchReporter::finish() {
     }
   }
   if (!opts_.json_path.empty()) {
+    // No run metadata beyond the bench name: the document must be
+    // byte-identical for every --threads value.
     std::string json = "{\n  \"bench\": \"" + bench_name_ + "\",\n";
-    json += "  \"threads\": " + std::to_string(opts_.threads) + ",\n";
     json += "  \"tables\": [\n";
     for (std::size_t i = 0; i < tables_.size(); ++i) {
       tables_[i].append_json(json, 4);

@@ -4,9 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "cc/factory.hpp"
-#include "cc/power_tcp.hpp"
-#include "cc/theta_power_tcp.hpp"
+#include "cc/registry.hpp"
 #include "host/homa.hpp"
 #include "net/network.hpp"
 #include "sim/rng.hpp"
@@ -16,19 +14,8 @@
 namespace powertcp::harness {
 
 net::EcnConfig ecn_profile_for(const std::string& cc) {
-  net::EcnConfig ecn;
-  if (cc == "dcqcn") {
-    ecn.enabled = true;
-    ecn.kmin_bytes = 1'000;  // per Gbps: 100 KB at 100 G (HPCC's setup)
-    ecn.kmax_bytes = 4'000;
-    ecn.pmax = 0.2;
-  } else if (cc == "dctcp") {
-    ecn.enabled = true;
-    ecn.kmin_bytes = 700;  // per Gbps: step marking ~ BDP/7
-    ecn.kmax_bytes = 700;
-    ecn.pmax = 1.0;
-  }
-  return ecn;
+  const cc::Scheme* scheme = cc::Registry::instance().find(cc);
+  return scheme == nullptr ? net::EcnConfig{} : scheme->needs.ecn;
 }
 
 namespace {
@@ -50,14 +37,17 @@ workload::FlowSizeDistribution scaled_websearch(double scale) {
 }  // namespace
 
 ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
-  const bool homa = cfg.cc == "homa";
+  // The registry entry carries everything scheme-specific: the fabric
+  // features to configure, the tunable parameters, and the factory (or
+  // the message-transport flag) — no scheme is special-cased by name.
+  const cc::Scheme& scheme = cc::Registry::instance().at(cfg.cc);
 
   sim::Simulator simulator;
   net::Network network(simulator);
 
   topo::FatTreeConfig topo_cfg = cfg.topo;
-  topo_cfg.ecn = ecn_profile_for(cfg.cc);
-  topo_cfg.priority_bands = homa ? 8 : 0;
+  topo_cfg.ecn = scheme.needs.ecn;
+  topo_cfg.priority_bands = scheme.needs.priority_bands;
   topo_cfg.int_enabled = true;
   topo::FatTree fabric(network, topo_cfg);
 
@@ -102,10 +92,15 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
   };
 
   // ---- flow setup ----
-  if (homa) {
-    host::HomaConfig hc;
-    hc.rtt_bytes = static_cast<std::int64_t>(params.bdp_bytes());
-    hc.overcommit = cfg.homa_overcommit;
+  cc::ParamMap scheme_params = cfg.cc_params;
+  if (scheme.experiment_defaults) {
+    scheme.experiment_defaults(params, scheme_params);
+  }
+  if (scheme.message_transport) {
+    host::HomaConfig hc = host::homa_config_from_params(scheme_params, params);
+    if (scheme_params.count("overcommit") == 0) {
+      hc.overcommit = cfg.homa_overcommit;
+    }
     for (int h = 0; h < fabric.host_count(); ++h) {
       fabric.host(h).enable_homa(hc).set_message_callback(
           [&result, &ideal_fct](const host::MessageCompletion& done) {
@@ -130,38 +125,16 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
       });
     }
   } else {
-    cc::CcFactory factory;
-    if (cfg.cc == "powertcp" || cfg.cc == "theta-powertcp") {
-      // Match the additive-increase magnitude to HPCC's W_AI =
-      // BDP·(1−η)/N so the β-driven standing queue (Σβ, Appendix A)
-      // is comparable across the INT-based schemes — the paper derives
-      // β "reflecting the intuition for additive increase in prior
-      // work [HPCC]".
-      const double beta =
-          params.bdp_bytes() * 0.05 /
-          static_cast<double>(params.expected_flows);
-      if (cfg.cc == "powertcp") {
-        factory = [beta](const cc::FlowParams& p) {
-          cc::PowerTcpConfig pc;
-          pc.beta_bytes = beta;
-          return std::make_unique<cc::PowerTcp>(p, pc);
-        };
-      } else {
-        factory = [beta](const cc::FlowParams& p) {
-          cc::ThetaPowerTcpConfig tc;
-          tc.beta_bytes = beta;
-          return std::make_unique<cc::ThetaPowerTcp>(p, tc);
-        };
-      }
-    } else {
-      factory = cc::make_factory(cfg.cc);
-    }
+    const cc::FlowCcFactory factory =
+        scheme.make(scheme_params, cc::SchemeTopology{});
     net::FlowId next_id = 1;
     for (const auto& arrival : plan) {
       const net::FlowId id = next_id++;
+      const cc::FlowEndpoints endpoints{fabric.tor_of_host(arrival.src_host),
+                                        fabric.tor_of_host(arrival.dst_host)};
       fabric.host(arrival.src_host)
           .start_flow(id, fabric.host_node(arrival.dst_host),
-                      arrival.size_bytes, factory(params), params,
+                      arrival.size_bytes, factory(params, endpoints), params,
                       arrival.start,
                       [&result, &ideal_fct](const host::FlowCompletion& c) {
                         stats::FlowRecord rec;

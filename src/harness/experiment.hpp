@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cc/params.hpp"
 #include "sim/time.hpp"
 #include "stats/fct_recorder.hpp"
 #include "stats/percentiles.hpp"
@@ -19,9 +20,15 @@ namespace powertcp::harness {
 
 struct FatTreeExperiment {
   topo::FatTreeConfig topo = topo::FatTreeConfig::quick();
-  /// Any cc::make_factory name, or "homa" for the receiver-driven
-  /// transport (which switches the fabric to 8 priority bands).
+  /// Any cc::Registry scheme runnable on a fat-tree — the window/rate
+  /// algorithms or "homa" (whose registry entry switches the fabric to
+  /// its priority bands and runs flows through the message transport).
   std::string cc = "powertcp";
+  /// `key=value` overrides for the scheme's declared tunables
+  /// (config-file `[cc.<scheme>]` sections end up here). Keys the map
+  /// does not pin fall back to the scheme's experiment defaults (e.g.
+  /// PowerTCP's HPCC-matched beta), then to its paper defaults.
+  cc::ParamMap cc_params;
   double uplink_load = 0.6;  ///< websearch load on the ToR uplinks
   sim::TimePs duration = sim::milliseconds(20);
   std::uint64_t seed = 1;
@@ -66,8 +73,9 @@ struct ExperimentResult {
 ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg);
 
 /// ECN profile used when `cc` needs marking (DCQCN: RED 1000/4000
-/// bytes-per-Gbps with pmax 0.2; DCTCP: step at 700 bytes-per-Gbps),
-/// exposed for tests.
+/// bytes-per-Gbps with pmax 0.2; DCTCP: step at 700 bytes-per-Gbps).
+/// Reads the scheme's registry entry; unknown names get the disabled
+/// profile. Exposed for tests and non-fat-tree harnesses.
 net::EcnConfig ecn_profile_for(const std::string& cc);
 
 }  // namespace powertcp::harness

@@ -1,0 +1,405 @@
+#include "harness/runner.hpp"
+
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+#include "cc/registry.hpp"
+#include "stats/fct_recorder.hpp"
+
+namespace powertcp::harness {
+
+namespace {
+
+RunnerConfig::Kind parse_kind(const std::string& kind,
+                              const ConfigFile& file) {
+  if (kind == "fat_tree") return RunnerConfig::Kind::kFatTree;
+  if (kind == "incast") return RunnerConfig::Kind::kIncast;
+  if (kind == "rdcn") return RunnerConfig::Kind::kRdcn;
+  throw ConfigError(file.origin() + ": [experiment] kind = '" + kind +
+                    "' is not one of fat_tree, incast, rdcn");
+}
+
+/// Resolves one `schemes = ...` entry: its optional [cc.<label>]
+/// section supplies params and may alias a registered scheme via
+/// `scheme = <name>`. Every param key must be declared by the entry.
+SchemeRun resolve_scheme(const ConfigFile& file, const std::string& label) {
+  SchemeRun run;
+  run.label = label;
+  run.scheme = label;
+  const ConfigFile::Section* sec = file.find("cc." + label);
+  if (sec != nullptr) {
+    for (const auto& e : sec->entries) {
+      if (e.key == "scheme") {
+        run.scheme = e.value;
+      } else {
+        run.params[e.key] = e.value;
+      }
+    }
+  }
+  const cc::Scheme* scheme = cc::Registry::instance().find(run.scheme);
+  if (scheme == nullptr) {
+    throw ConfigError(file.origin() + ": scheme '" + run.scheme + "' (" +
+                      label + ") is not registered; known: " + [] {
+                        std::string names;
+                        for (const auto& s :
+                             cc::Registry::instance().schemes()) {
+                          if (!names.empty()) names += ", ";
+                          names += s.name;
+                        }
+                        return names;
+                      }());
+  }
+  for (const auto& [key, value] : run.params) {
+    (void)value;
+    bool declared = false;
+    for (const auto& spec : scheme->params) {
+      declared = declared || spec.key == key;
+    }
+    if (!declared) {
+      throw ConfigError(file.origin() + ": [cc." + label + "] '" + key +
+                        "' is not a declared parameter of scheme '" +
+                        run.scheme + "'");
+    }
+  }
+  return run;
+}
+
+void load_fat_tree_topology(SectionView& topo, topo::FatTreeConfig* cfg,
+                            const ConfigFile& file) {
+  const std::string preset = topo.get_string("preset", "quick");
+  if (preset == "quick") {
+    *cfg = topo::FatTreeConfig::quick();
+  } else if (preset == "paper") {
+    *cfg = topo::FatTreeConfig();
+  } else {
+    throw ConfigError(file.origin() + ": [topology] preset = '" + preset +
+                      "' is not one of quick, paper");
+  }
+  cfg->pods = static_cast<int>(topo.get_int("pods", cfg->pods));
+  cfg->tors_per_pod =
+      static_cast<int>(topo.get_int("tors_per_pod", cfg->tors_per_pod));
+  cfg->aggs_per_pod =
+      static_cast<int>(topo.get_int("aggs_per_pod", cfg->aggs_per_pod));
+  cfg->cores = static_cast<int>(topo.get_int("cores", cfg->cores));
+  cfg->servers_per_tor =
+      static_cast<int>(topo.get_int("servers_per_tor", cfg->servers_per_tor));
+  if (topo.has("host_gbps")) {
+    cfg->host_bw = sim::Bandwidth::gbps(topo.get_double("host_gbps", 0));
+  }
+  if (topo.has("fabric_gbps")) {
+    cfg->fabric_bw = sim::Bandwidth::gbps(topo.get_double("fabric_gbps", 0));
+  }
+  cfg->buffer_bytes_per_gbps =
+      topo.get_int("buffer_bytes_per_gbps", cfg->buffer_bytes_per_gbps);
+  cfg->dt_alpha = topo.get_double("dt_alpha", cfg->dt_alpha);
+}
+
+sim::TimePs get_ms(SectionView& v, const std::string& key,
+                   sim::TimePs fallback) {
+  if (!v.has(key)) {
+    v.get_double(key, 0);  // mark consumed even when absent
+    return fallback;
+  }
+  return sim::from_seconds(v.get_double(key, 0) * 1e-3);
+}
+
+sim::TimePs get_us(SectionView& v, const std::string& key,
+                   sim::TimePs fallback) {
+  if (!v.has(key)) {
+    v.get_double(key, 0);
+    return fallback;
+  }
+  return sim::from_seconds(v.get_double(key, 0) * 1e-6);
+}
+
+}  // namespace
+
+RunnerConfig load_runner_config(const ConfigFile& file) {
+  const ConfigFile::Section* exp_sec = file.find("experiment");
+  if (exp_sec == nullptr) {
+    throw ConfigError(file.origin() + ": missing [experiment] section");
+  }
+  RunnerConfig rc;
+  SectionView exp(file, exp_sec);
+  rc.kind = parse_kind(exp.get_string("kind", "fat_tree"), file);
+  rc.slug_prefix = exp.get_string("slug", rc.slug_prefix);
+  const std::vector<std::string> scheme_names = exp.get_list("schemes");
+  if (scheme_names.empty()) {
+    throw ConfigError(file.origin() +
+                      ": [experiment] needs a non-empty `schemes` list");
+  }
+  const auto seed = static_cast<std::uint64_t>(exp.get_int("seed", 1));
+  rc.percentile = exp.get_double("percentile", rc.percentile);
+  exp.finish();
+
+  for (const auto& name : scheme_names) {
+    rc.schemes.push_back(resolve_scheme(file, name));
+  }
+
+  SectionView topo(file, file.find("topology"));
+  SectionView work(file, file.find("workload"));
+  switch (rc.kind) {
+    case RunnerConfig::Kind::kFatTree: {
+      load_fat_tree_topology(topo, &rc.fat_tree.topo, file);
+      rc.fat_tree.seed = seed;
+      rc.loads = work.get_double_list("loads", rc.loads);
+      rc.fat_tree.duration = get_ms(work, "duration_ms", rc.fat_tree.duration);
+      rc.fat_tree.size_scale =
+          work.get_double("size_scale", rc.fat_tree.size_scale);
+      rc.fat_tree.expected_flows = static_cast<int>(
+          work.get_int("expected_flows", rc.fat_tree.expected_flows));
+      rc.fat_tree.incast = work.get_bool("incast", rc.fat_tree.incast);
+      rc.fat_tree.incast_requests_per_sec = work.get_double(
+          "incast_requests_per_sec", rc.fat_tree.incast_requests_per_sec);
+      rc.fat_tree.incast_request_bytes = static_cast<std::int64_t>(
+          work.get_double("incast_request_kb",
+                          static_cast<double>(
+                              rc.fat_tree.incast_request_bytes) /
+                              1e3) *
+          1e3);
+      rc.fat_tree.incast_fan_in = static_cast<int>(
+          work.get_int("incast_fan_in", rc.fat_tree.incast_fan_in));
+      break;
+    }
+    case RunnerConfig::Kind::kIncast: {
+      load_fat_tree_topology(topo, &rc.incast.topo, file);
+      rc.query_kb = work.get_double_list("query_kb", rc.query_kb);
+      rc.fan_in = work.get_double_list("fan_in", rc.fan_in);
+      if (rc.fan_in.size() != rc.query_kb.size() && rc.fan_in.size() != 1) {
+        throw ConfigError(file.origin() +
+                          ": [workload] fan_in must list one value or one "
+                          "per query_kb entry");
+      }
+      for (std::size_t i = 0; i < rc.query_kb.size(); ++i) {
+        const double fan =
+            rc.fan_in[rc.fan_in.size() == 1 ? 0 : i];
+        if (rc.query_kb[i] > 0 && fan < 1) {
+          throw ConfigError(file.origin() +
+                            ": [workload] query_kb > 0 needs fan_in >= 1 "
+                            "(the query is split across the fan-in)");
+        }
+      }
+      rc.incast.long_flow_bytes = static_cast<std::int64_t>(
+          work.get_double("long_flow_mb",
+                          static_cast<double>(rc.incast.long_flow_bytes) /
+                              1e6) *
+          1e6);
+      rc.incast.long_companions = static_cast<int>(
+          work.get_int("long_companions", rc.incast.long_companions));
+      rc.incast.burst_at = get_us(work, "burst_at_us", rc.incast.burst_at);
+      rc.incast.horizon = get_ms(work, "horizon_ms", rc.incast.horizon);
+      rc.incast.bin = get_us(work, "bin_us", rc.incast.bin);
+      rc.incast.expected_flows = static_cast<int>(
+          work.get_int("expected_flows", rc.incast.expected_flows));
+      break;
+    }
+    case RunnerConfig::Kind::kRdcn: {
+      const std::string preset = topo.get_string("preset", "paper");
+      if (preset == "small") {
+        rc.rdcn.topo = topo::RdcnConfig::small();
+      } else if (preset == "paper") {
+        rc.rdcn.topo = topo::RdcnConfig();
+      } else {
+        throw ConfigError(file.origin() + ": [topology] preset = '" + preset +
+                          "' is not one of small, paper");
+      }
+      rc.rdcn.topo.n_tors =
+          static_cast<int>(topo.get_int("n_tors", rc.rdcn.topo.n_tors));
+      rc.rdcn.topo.servers_per_tor = static_cast<int>(
+          topo.get_int("servers_per_tor", rc.rdcn.topo.servers_per_tor));
+      if (topo.has("host_gbps")) {
+        rc.rdcn.topo.host_bw =
+            sim::Bandwidth::gbps(topo.get_double("host_gbps", 0));
+      }
+      if (topo.has("circuit_gbps")) {
+        rc.rdcn.topo.circuit_bw =
+            sim::Bandwidth::gbps(topo.get_double("circuit_gbps", 0));
+      }
+      rc.rdcn.topo.day = get_us(topo, "day_us", rc.rdcn.topo.day);
+      rc.rdcn.topo.night = get_us(topo, "night_us", rc.rdcn.topo.night);
+      rc.packet_gbps = work.get_double_list("packet_gbps", rc.packet_gbps);
+      rc.rdcn.flow_bytes = static_cast<std::int64_t>(
+          work.get_double("flow_mb",
+                          static_cast<double>(rc.rdcn.flow_bytes) / 1e6) *
+          1e6);
+      rc.rdcn.horizon = get_ms(work, "horizon_ms", rc.rdcn.horizon);
+      rc.rdcn.bin = get_us(work, "bin_us", rc.rdcn.bin);
+      rc.rdcn.expected_flows = static_cast<int>(
+          work.get_int("expected_flows", rc.rdcn.expected_flows));
+      break;
+    }
+  }
+  topo.finish();
+  work.finish();
+  if (rc.loads.empty() || rc.query_kb.empty() || rc.fan_in.empty() ||
+      rc.packet_gbps.empty()) {
+    throw ConfigError(file.origin() +
+                      ": [workload] point lists must be non-empty");
+  }
+
+  // Reject sections the loader never looked at (typos, or [cc.X] for a
+  // scheme the `schemes` list does not run).
+  std::set<std::string> known = {"experiment", "topology", "workload"};
+  for (const auto& name : scheme_names) known.insert("cc." + name);
+  for (const auto& sec : file.sections()) {
+    if (known.count(sec.name) == 0) {
+      throw ConfigError(file.origin() + ":" + std::to_string(sec.line) +
+                        ": unused section [" + sec.name + "]");
+    }
+  }
+  return rc;
+}
+
+SweepSpec fct_sweep_spec(const FatTreeExperiment& base, double load,
+                         double percentile,
+                         const std::vector<SchemeRun>& schemes,
+                         const std::string& slug_prefix) {
+  SweepSpec sw;
+  char title[128];
+  std::snprintf(title, sizeof(title),
+                "%.0f%% ToR-uplink load, websearch (x%.2f sizes), "
+                "p%.1f slowdown per size bucket",
+                load * 100, base.size_scale, percentile);
+  sw.title = title;
+  char slug[64];
+  std::snprintf(slug, sizeof(slug), "%s_load%.0f", slug_prefix.c_str(),
+                load * 100);
+  sw.slug = slug;
+  sw.key_columns = {"algorithm"};
+  for (const auto& b : stats::paper_size_buckets()) {
+    sw.value_columns.push_back(b.label);
+  }
+  sw.value_columns.insert(sw.value_columns.end(),
+                          {"allP50", "drops", "flows", "done%"});
+  for (const auto& scheme : schemes) {
+    SweepPoint p;
+    p.keys = {Cell(scheme.display())};
+    p.cfg = base;
+    p.cfg.cc = scheme.scheme;
+    p.cfg.cc_params = scheme.params;
+    p.cfg.uplink_load = load;
+    sw.points.push_back(std::move(p));
+  }
+  const double size_scale = base.size_scale;
+  sw.metrics = [size_scale, percentile](const FatTreeExperiment&,
+                                        const ExperimentResult& r) {
+    std::vector<Cell> row;
+    // Buckets are defined on unscaled sizes; rescale the edges.
+    std::int64_t lo = 0;
+    for (const auto& b : stats::paper_size_buckets()) {
+      const auto hi = static_cast<std::int64_t>(
+          static_cast<double>(b.upper_bytes) * size_scale);
+      const auto s = r.fct.slowdowns_in_range(lo, hi);
+      row.push_back(s.count() >= 5 ? Cell(s.percentile(percentile), 2)
+                                   : Cell());
+      lo = hi;
+    }
+    const auto all = r.fct.all_slowdowns();
+    row.push_back(all.empty() ? Cell() : Cell(all.percentile(50), 2));
+    row.push_back(Cell::integer(static_cast<std::int64_t>(r.drops)));
+    row.push_back(Cell::integer(static_cast<std::int64_t>(r.flows_started)));
+    row.push_back(Cell(r.completion_rate() * 100, 1));
+    return row;
+  };
+  return sw;
+}
+
+ResultTable incast_figure_table(const SweepRunner& runner,
+                                const IncastScenario& cfg,
+                                const std::vector<SchemeRun>& schemes,
+                                const std::string& slug_prefix) {
+  char title[96];
+  std::string slug;
+  const auto burst_us =
+      static_cast<long long>(cfg.burst_at / sim::kPsPerUs);
+  if (cfg.query_bytes > 0) {
+    std::snprintf(title, sizeof(title),
+                  "%d long flows + %d:1 query incast (%lld KB total) "
+                  "at t=%lldus",
+                  cfg.long_companions, cfg.fan_in,
+                  static_cast<long long>(cfg.query_bytes / 1000), burst_us);
+    // The query size keeps slugs unique when a config sweeps several
+    // query points (CSV rows and the regression gate key on the slug).
+    slug = slug_prefix + "_query" +
+           std::to_string(cfg.query_bytes / 1000) + "kb";
+  } else {
+    std::snprintf(title, sizeof(title),
+                  "%d:1 incast of long flows at t=%lldus",
+                  cfg.long_companions, burst_us);
+    slug = slug_prefix + "_" + std::to_string(cfg.long_companions) + "to1";
+  }
+  return incast_table(runner, cfg, schemes, slug, title);
+}
+
+RunnerConfig fig6_runner_config(bool fast, bool full) {
+  RunnerConfig rc;
+  rc.kind = RunnerConfig::Kind::kFatTree;
+  rc.slug_prefix = "fig6";
+  rc.loads = {0.2, 0.6};
+  rc.percentile = 99.0;
+  rc.fat_tree.seed = 42;
+  rc.fat_tree.duration = sim::milliseconds(20);
+  rc.fat_tree.size_scale = 0.1;
+  if (fast) rc.fat_tree.duration = sim::milliseconds(8);
+  if (full) {
+    rc.fat_tree.topo = topo::FatTreeConfig();  // paper scale
+    rc.fat_tree.duration = sim::milliseconds(100);
+    rc.fat_tree.size_scale = 1.0;
+    rc.percentile = 99.9;
+  }
+  for (const char* name :
+       {"powertcp", "theta-powertcp", "hpcc", "dcqcn", "timely", "homa"}) {
+    rc.schemes.push_back(SchemeRun{"", name, {}});
+  }
+  return rc;
+}
+
+std::vector<ResultTable> run_config(const RunnerConfig& cfg,
+                                    const SweepRunner& runner) {
+  std::vector<ResultTable> tables;
+  switch (cfg.kind) {
+    case RunnerConfig::Kind::kFatTree: {
+      for (const double load : cfg.loads) {
+        tables.push_back(runner.run(fct_sweep_spec(
+            cfg.fat_tree, load, cfg.percentile, cfg.schemes,
+            cfg.slug_prefix)));
+      }
+      break;
+    }
+    case RunnerConfig::Kind::kIncast: {
+      for (std::size_t i = 0; i < cfg.query_kb.size(); ++i) {
+        IncastScenario point = cfg.incast;
+        point.query_bytes =
+            static_cast<std::int64_t>(cfg.query_kb[i] * 1e3);
+        point.fan_in = static_cast<int>(
+            cfg.fan_in[cfg.fan_in.size() == 1 ? 0 : i]);
+        tables.push_back(incast_figure_table(runner, point, cfg.schemes,
+                                             cfg.slug_prefix));
+      }
+      break;
+    }
+    case RunnerConfig::Kind::kRdcn: {
+      RdcnScenario series = cfg.rdcn;
+      series.topo.packet_bw = sim::Bandwidth::gbps(cfg.packet_gbps.front());
+      char title[128];
+      std::snprintf(title, sizeof(title),
+                    "rack0 -> rack1 throughput / VOQ time series "
+                    "(%.0fG packet plane, %.0fG circuit)",
+                    cfg.packet_gbps.front(),
+                    series.topo.circuit_bw.gbps_value());
+      tables.push_back(rdcn_timeseries_table(runner, series, cfg.schemes,
+                                             cfg.slug_prefix + "_timeseries",
+                                             title));
+      std::snprintf(title, sizeof(title),
+                    "p99 ToR queuing latency (us) vs packet bandwidth");
+      tables.push_back(rdcn_latency_table(runner, cfg.rdcn, cfg.schemes,
+                                          cfg.packet_gbps,
+                                          cfg.slug_prefix + "_p99", title));
+      break;
+    }
+  }
+  return tables;
+}
+
+}  // namespace powertcp::harness

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/config.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scenarios.hpp"
+#include "harness/sweep.hpp"
+
+/// \file runner.hpp
+/// The config-file-driven experiment runner behind `powertcp_run`: a
+/// RunnerConfig describes one experiment family (which topology kind,
+/// which schemes with which `key=value` params, which workload points)
+/// and run_config() executes it through SweepRunner into ResultTables.
+/// The figure benches build the same RunnerConfig programmatically, so
+/// a config file and its bench produce identical tables.
+///
+/// Config format (see docs/reproducing.md for the full key reference):
+///
+///   [experiment]
+///   kind = fat_tree            # fat_tree | incast | rdcn
+///   slug = fig6                # table slug prefix
+///   schemes = powertcp, hpcc, homa
+///   seed = 42
+///
+///   [topology]                 # kind-specific presets + overrides
+///   preset = quick             # fat-tree: quick | paper
+///
+///   [workload]                 # kind-specific points
+///   loads = 0.2, 0.6           # fat-tree: one table per load
+///
+///   [cc.powertcp]              # per-scheme tunables (optional)
+///   gamma = 0.9
+///
+/// A `[cc.<label>]` section may carry `scheme = <registered name>` to
+/// run one scheme several times under different labels/params (e.g.
+/// reTCP-600us vs reTCP-1800us).
+
+namespace powertcp::harness {
+
+struct RunnerConfig {
+  enum class Kind { kFatTree, kIncast, kRdcn };
+  Kind kind = Kind::kFatTree;
+  std::string slug_prefix = "run";
+  std::vector<SchemeRun> schemes;
+
+  // kind == kFatTree: the workhorse FCT experiment per (load, scheme).
+  FatTreeExperiment fat_tree;
+  std::vector<double> loads = {0.6};
+  double percentile = 99.0;
+
+  // kind == kIncast: one table per (query_kb, fan_in) pair.
+  IncastScenario incast;
+  std::vector<double> query_kb = {0};
+  std::vector<double> fan_in = {10};
+
+  // kind == kRdcn: a time series at packet_gbps.front() plus a p99
+  // latency table across all of packet_gbps.
+  RdcnScenario rdcn;
+  std::vector<double> packet_gbps = {25};
+};
+
+/// Builds a RunnerConfig from a parsed file. Throws ConfigError on
+/// unknown sections/keys/kinds, unregistered schemes, or scheme params
+/// not declared by the registry entry.
+RunnerConfig load_runner_config(const ConfigFile& file);
+
+/// Executes every point and returns the tables in declaration order.
+/// Output is a pure function of the config: tables are identical for
+/// every runner thread count.
+std::vector<ResultTable> run_config(const RunnerConfig& cfg,
+                                    const SweepRunner& runner);
+
+/// The Fig. 6/7-style FCT sweep: one row per scheme at `load`, tail
+/// slowdown per paper size bucket plus allP50/drops/flows/done%.
+/// Exposed so bench_fig6 and run_config build identical specs.
+SweepSpec fct_sweep_spec(const FatTreeExperiment& base, double load,
+                         double percentile,
+                         const std::vector<SchemeRun>& schemes,
+                         const std::string& slug_prefix);
+
+/// Fig. 4-style incast table with the canonical title/slug for the
+/// (query, companions) shape; shared by bench_fig4 and run_config.
+ResultTable incast_figure_table(const SweepRunner& runner,
+                                const IncastScenario& cfg,
+                                const std::vector<SchemeRun>& schemes,
+                                const std::string& slug_prefix);
+
+/// The Fig. 6 experiment definition. The default (fast = full = false)
+/// equals what configs/fig6_quick.toml loads — bench_fig6_fct and
+/// `powertcp_run configs/fig6_quick.toml` therefore print identical
+/// tables; a test pins the equivalence.
+RunnerConfig fig6_runner_config(bool fast, bool full);
+
+}  // namespace powertcp::harness

@@ -1,0 +1,319 @@
+#include "harness/scenarios.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "cc/registry.hpp"
+#include "host/homa.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "stats/percentiles.hpp"
+#include "stats/timeseries.hpp"
+
+namespace powertcp::harness {
+
+namespace {
+
+const cc::Scheme& resolve(const SchemeRun& run) {
+  return cc::Registry::instance().at(run.scheme);
+}
+
+}  // namespace
+
+IncastSeries run_incast_scenario(const IncastScenario& cfg,
+                                 const SchemeRun& scheme_run) {
+  const cc::Scheme& scheme = resolve(scheme_run);
+
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  topo::FatTreeConfig topo_cfg = cfg.topo;
+  topo_cfg.ecn = scheme.needs.ecn;
+  topo_cfg.priority_bands = scheme.needs.priority_bands;
+  topo::FatTree fabric(network, topo_cfg);
+
+  cc::FlowParams params;
+  params.host_bw = topo_cfg.host_bw;
+  params.base_rtt = fabric.max_base_rtt();
+  params.expected_flows = cfg.expected_flows;
+
+  const int receiver = 0;
+  const int long_sender = fabric.host_count() - 1;
+  stats::ThroughputSeries goodput(0, cfg.bin);
+  fabric.host(receiver).set_data_callback(
+      [&goodput](net::FlowId, std::int64_t bytes, sim::TimePs now) {
+        goodput.add_bytes(now, bytes);
+      });
+  stats::QueueSeries queue;
+  fabric.tor(0).port(fabric.tor_down_port(receiver)).set_queue_monitor(&queue);
+
+  if (cfg.query_bytes > 0 && cfg.fan_in < 1) {
+    throw std::invalid_argument(
+        "IncastScenario: query_bytes > 0 needs fan_in >= 1");
+  }
+  // Paper setup: `long_companions` long flows join the long flow's
+  // receiver at `burst_at`; the large-scale case additionally fans a
+  // query of `query_bytes` total across every other server (each
+  // responder sends query_bytes / fan_in, ~8 KB at the paper's 2MB/255).
+  const std::int64_t burst_bytes =
+      cfg.query_bytes > 0
+          ? std::max<std::int64_t>(1'000, cfg.query_bytes / cfg.fan_in)
+          : cfg.long_flow_bytes;
+  const auto responder_of = [&](int i) {
+    return topo_cfg.servers_per_tor +
+           i % (fabric.host_count() - topo_cfg.servers_per_tor - 1);
+  };
+
+  if (scheme.message_transport) {
+    const host::HomaConfig hc =
+        host::homa_config_from_params(scheme_run.params, params);
+    for (int h = 0; h < fabric.host_count(); ++h) {
+      fabric.host(h).enable_homa(hc);
+    }
+    host::Host& ls = fabric.host(long_sender);
+    const std::int64_t long_bytes = cfg.long_flow_bytes;
+    simulator.schedule_at(0, [&ls, &fabric, receiver, long_bytes] {
+      ls.homa()->send_message(1, fabric.host_node(receiver), long_bytes);
+    });
+    for (int i = 0; i < cfg.long_companions; ++i) {
+      host::Host& h = fabric.host(topo_cfg.servers_per_tor + 1 + i);
+      const net::FlowId fid = static_cast<net::FlowId>(10 + i);
+      simulator.schedule_at(cfg.burst_at,
+                            [&h, fid, &fabric, receiver, long_bytes] {
+                              h.homa()->send_message(
+                                  fid, fabric.host_node(receiver), long_bytes);
+                            });
+    }
+    for (int i = 0; cfg.query_bytes > 0 && i < cfg.fan_in; ++i) {
+      host::Host& h = fabric.host(responder_of(i));
+      const net::FlowId fid = static_cast<net::FlowId>(100 + i);
+      simulator.schedule_at(cfg.burst_at, [&h, fid, &fabric, receiver,
+                                           burst_bytes] {
+        h.homa()->send_message(fid, fabric.host_node(receiver), burst_bytes);
+      });
+    }
+  } else {
+    const cc::FlowCcFactory factory =
+        scheme.make(scheme_run.params, cc::SchemeTopology{});
+    const auto endpoints = [&](int src_host) {
+      return cc::FlowEndpoints{fabric.tor_of_host(src_host),
+                               fabric.tor_of_host(receiver)};
+    };
+    fabric.host(long_sender)
+        .start_flow(1, fabric.host_node(receiver), cfg.long_flow_bytes,
+                    factory(params, endpoints(long_sender)), params, 0);
+    for (int i = 0; i < cfg.long_companions; ++i) {
+      const int responder = topo_cfg.servers_per_tor + 1 + i;
+      fabric.host(responder).start_flow(
+          static_cast<net::FlowId>(10 + i), fabric.host_node(receiver),
+          cfg.long_flow_bytes, factory(params, endpoints(responder)), params,
+          cfg.burst_at);
+    }
+    for (int i = 0; cfg.query_bytes > 0 && i < cfg.fan_in; ++i) {
+      const int responder = responder_of(i);
+      fabric.host(responder).start_flow(
+          static_cast<net::FlowId>(100 + i), fabric.host_node(receiver),
+          burst_bytes, factory(params, endpoints(responder)), params,
+          cfg.burst_at);
+    }
+  }
+
+  simulator.run_until(cfg.horizon);
+
+  IncastSeries out;
+  const auto bins = static_cast<std::size_t>(cfg.horizon / cfg.bin);
+  for (std::size_t b = 0; b < bins; ++b) {
+    out.gbps.push_back(goodput.gbps(b));
+    out.queue_kb.push_back(
+        static_cast<double>(queue.at(goodput.bin_start(b) + cfg.bin / 2)) /
+        1e3);
+  }
+  return out;
+}
+
+ResultTable incast_table(const SweepRunner& runner, const IncastScenario& cfg,
+                         const std::vector<SchemeRun>& schemes,
+                         const std::string& slug, const std::string& title) {
+  std::vector<std::function<IncastSeries()>> jobs;
+  jobs.reserve(schemes.size());
+  for (const auto& s : schemes) {
+    jobs.push_back([cfg, s] { return run_incast_scenario(cfg, s); });
+  }
+  const std::vector<IncastSeries> rows = runner.map(jobs);
+
+  ResultTable t;
+  t.title = title;
+  t.slug = slug;
+  t.key_columns = {"time"};
+  for (const auto& s : schemes) {
+    t.value_columns.push_back(s.display() + " gbps");
+    t.value_columns.push_back(s.display() + " qKB");
+  }
+  const auto bins = rows.front().gbps.size();
+  for (std::size_t b = 0; b < bins; b += 2) {
+    ResultTable::Row row;
+    row.keys = {Cell(sim::format_time(static_cast<sim::TimePs>(b) * cfg.bin))};
+    for (const auto& r : rows) {
+      row.values.push_back(Cell(r.gbps[b], 1));
+      row.values.push_back(Cell(r.queue_kb[b], 1));
+    }
+    t.rows.push_back(std::move(row));
+  }
+  return t;
+}
+
+RdcnResult run_rdcn_scenario(const RdcnScenario& cfg,
+                             const SchemeRun& scheme_run) {
+  const cc::Scheme& scheme = resolve(scheme_run);
+  if (scheme.message_transport) {
+    throw std::invalid_argument("scheme '" + scheme_run.scheme +
+                                "' is a message transport; the RDCN "
+                                "scenario drives sender CC algorithms");
+  }
+
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  topo::Rdcn rdcn(network, cfg.topo);
+
+  cc::FlowParams params;
+  params.host_bw = cfg.topo.host_bw;
+  params.base_rtt = rdcn.max_base_rtt();
+  params.expected_flows = cfg.expected_flows;
+
+  cc::SchemeTopology scheme_topo;
+  scheme_topo.circuit = &rdcn.schedule();
+  scheme_topo.circuit_bw_bps = cfg.topo.circuit_bw.bps();
+  scheme_topo.packet_bw_bps = cfg.topo.packet_bw.bps();
+  const cc::FlowCcFactory factory =
+      scheme.make(scheme_run.params, scheme_topo);
+
+  stats::ThroughputSeries goodput(0, cfg.bin);
+  stats::QueueSeries voq;
+  stats::Samples sojourns_us;
+  rdcn.tor(0).port(rdcn.tor(0).circuit_port_index()).set_queue_monitor(&voq);
+  const auto sojourn_cb = [&sojourns_us](sim::TimePs d) {
+    sojourns_us.add(sim::to_microseconds(d));
+  };
+  rdcn.tor(0)
+      .port(rdcn.tor(0).circuit_port_index())
+      .set_sojourn_callback(sojourn_cb);
+  rdcn.tor(0)
+      .port(rdcn.tor(0).uplink_port_index())
+      .set_sojourn_callback(sojourn_cb);
+
+  for (int s = 0; s < cfg.topo.servers_per_tor; ++s) {
+    const int dst_host = cfg.topo.servers_per_tor + s;  // rack 1
+    rdcn.host(dst_host).set_data_callback(
+        [&goodput](net::FlowId, std::int64_t bytes, sim::TimePs now) {
+          goodput.add_bytes(now, bytes);
+        });
+    rdcn.host(s).start_flow(static_cast<net::FlowId>(s + 1),
+                            rdcn.host(dst_host).id(), cfg.flow_bytes,
+                            factory(params, cc::FlowEndpoints{0, 1}), params,
+                            0);
+  }
+
+  simulator.run_until(cfg.horizon);
+
+  RdcnResult out;
+  double day_bytes = 0, day_secs = 0;
+  const auto bins = static_cast<std::size_t>(cfg.horizon / cfg.bin);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const sim::TimePs t = goodput.bin_start(b);
+    out.gbps.push_back(goodput.gbps(b));
+    out.voq_kb.push_back(static_cast<double>(voq.at(t + cfg.bin / 2)) / 1e3);
+    if (rdcn.schedule().active_peer(0, t) == 1 &&
+        rdcn.schedule().active_peer(0, t + cfg.bin) == 1) {
+      day_bytes += goodput.gbps(b) * sim::to_seconds(cfg.bin) / 8.0 * 1e9;
+      day_secs += sim::to_seconds(cfg.bin);
+    }
+  }
+  if (day_secs > 0) {
+    out.circuit_utilization =
+        day_bytes * 8.0 / day_secs / cfg.topo.circuit_bw.bps();
+  }
+  if (!sojourns_us.empty()) out.p99_sojourn_us = sojourns_us.percentile(99);
+  return out;
+}
+
+ResultTable rdcn_timeseries_table(const SweepRunner& runner,
+                                  const RdcnScenario& cfg,
+                                  const std::vector<SchemeRun>& schemes,
+                                  const std::string& slug,
+                                  const std::string& title) {
+  std::vector<std::function<RdcnResult()>> jobs;
+  jobs.reserve(schemes.size());
+  for (const auto& s : schemes) {
+    jobs.push_back([cfg, s] { return run_rdcn_scenario(cfg, s); });
+  }
+  const std::vector<RdcnResult> results = runner.map(jobs);
+
+  ResultTable t;
+  t.title = title;
+  t.slug = slug;
+  t.key_columns = {"time"};
+  for (const auto& s : schemes) {
+    t.value_columns.push_back(s.display() + " gbps");
+    t.value_columns.push_back(s.display() + " voqKB");
+  }
+  for (std::size_t b = 0; b < results.front().gbps.size(); b += 2) {
+    ResultTable::Row row;
+    row.keys = {Cell(sim::format_time(static_cast<sim::TimePs>(b) * cfg.bin))};
+    for (const auto& r : results) {
+      row.values.push_back(Cell(r.gbps[b], 1));
+      row.values.push_back(Cell(r.voq_kb[b], 1));
+    }
+    t.rows.push_back(std::move(row));
+  }
+  // Day-time circuit utilization as a trailing summary row (the old
+  // bench printed it as a footnote; a row keeps it in the CSV/JSON).
+  ResultTable::Row util;
+  util.keys = {Cell(std::string("util%"))};
+  for (const auto& r : results) {
+    util.values.push_back(Cell(r.circuit_utilization * 100, 0));
+    util.values.push_back(Cell());
+  }
+  t.rows.push_back(std::move(util));
+  return t;
+}
+
+ResultTable rdcn_latency_table(const SweepRunner& runner,
+                               const RdcnScenario& cfg,
+                               const std::vector<SchemeRun>& schemes,
+                               const std::vector<double>& packet_gbps,
+                               const std::string& slug,
+                               const std::string& title) {
+  // One independent simulation per (scheme, packet bandwidth) pair,
+  // flattened onto the pool scheme-major so the table assembles in
+  // declaration order.
+  std::vector<std::function<RdcnResult()>> jobs;
+  jobs.reserve(schemes.size() * packet_gbps.size());
+  for (const auto& s : schemes) {
+    for (const double gbps : packet_gbps) {
+      RdcnScenario point = cfg;
+      point.topo.packet_bw = sim::Bandwidth::gbps(gbps);
+      jobs.push_back([point, s] { return run_rdcn_scenario(point, s); });
+    }
+  }
+  const std::vector<RdcnResult> results = runner.map(jobs);
+
+  ResultTable t;
+  t.title = title;
+  t.slug = slug;
+  t.key_columns = {"scheme"};
+  for (const double gbps : packet_gbps) {
+    t.value_columns.push_back(Cell(gbps, 0).render() + "G p99us");
+  }
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    ResultTable::Row row;
+    row.keys = {Cell(schemes[s].display())};
+    for (std::size_t g = 0; g < packet_gbps.size(); ++g) {
+      row.values.push_back(
+          Cell(results[s * packet_gbps.size() + g].p99_sojourn_us, 1));
+    }
+    t.rows.push_back(std::move(row));
+  }
+  return t;
+}
+
+}  // namespace powertcp::harness

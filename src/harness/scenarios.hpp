@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cc/params.hpp"
+#include "harness/sweep.hpp"
+#include "sim/time.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/rdcn.hpp"
+
+/// \file scenarios.hpp
+/// The non-sweep workhorse scenarios behind Figs. 4 and 8, shared by
+/// the figure benches and the `powertcp_run` config runner. Every
+/// scenario resolves its scheme through cc::Registry — topology needs
+/// (priority bands, CircuitSchedule) are applied from the registry
+/// entry, and `key=value` params flow into the scheme's factory.
+///
+/// A SchemeRun names one table column/row: a registered scheme plus
+/// its parameter overrides and a display label (so e.g. reTCP-600us
+/// and reTCP-1800us are two runs of the same scheme).
+
+namespace powertcp::harness {
+
+struct SchemeRun {
+  std::string label;   ///< table heading; defaults to `scheme`
+  std::string scheme;  ///< cc::Registry entry name
+  cc::ParamMap params;
+
+  std::string display() const { return label.empty() ? scheme : label; }
+};
+
+/// Fig. 4: a long flow streams to one receiver; at `burst_at` ten long
+/// companions plus an optional query fan-in slam the same downlink.
+struct IncastScenario {
+  topo::FatTreeConfig topo = topo::FatTreeConfig::quick();
+  int expected_flows = 8;
+  int fan_in = 0;                  ///< query responders (0 = none)
+  std::int64_t query_bytes = 0;    ///< total query size across the fan-in
+  std::int64_t long_flow_bytes = 400'000'000;
+  int long_companions = 10;
+  sim::TimePs burst_at = sim::microseconds(500);
+  sim::TimePs horizon = sim::milliseconds(3);
+  sim::TimePs bin = sim::microseconds(50);
+};
+
+/// Receiver goodput and bottleneck ToR-downlink queue, one bin each.
+struct IncastSeries {
+  std::vector<double> gbps;
+  std::vector<double> queue_kb;
+};
+
+IncastSeries run_incast_scenario(const IncastScenario& cfg,
+                                 const SchemeRun& scheme);
+
+/// One table: time rows, per-scheme goodput/queue columns. Scenario
+/// simulations run on the runner's pool; output is identical for every
+/// thread count.
+ResultTable incast_table(const SweepRunner& runner, const IncastScenario& cfg,
+                         const std::vector<SchemeRun>& schemes,
+                         const std::string& slug, const std::string& title);
+
+/// Fig. 8: rack0's servers stream to rack1 across the RDCN while the
+/// rotor schedule connects and disconnects them.
+struct RdcnScenario {
+  topo::RdcnConfig topo;  ///< caller sizes n_tors/servers_per_tor/bws
+  int expected_flows = 10;
+  std::int64_t flow_bytes = 2'000'000'000;
+  sim::TimePs horizon = sim::milliseconds(4);
+  sim::TimePs bin = sim::microseconds(50);
+};
+
+struct RdcnResult {
+  std::vector<double> gbps;    ///< rack0 -> rack1 goodput per bin
+  std::vector<double> voq_kb;  ///< ToR-0 VOQ backlog per bin
+  double p99_sojourn_us = 0;   ///< ToR-0 queuing latency tail
+  double circuit_utilization = 0;  ///< day-time goodput / circuit rate
+};
+
+RdcnResult run_rdcn_scenario(const RdcnScenario& cfg,
+                             const SchemeRun& scheme);
+
+/// Fig. 8a-style table: time rows, per-scheme goodput/VOQ columns,
+/// plus one trailing "util%" row of day-time circuit utilization.
+ResultTable rdcn_timeseries_table(const SweepRunner& runner,
+                                  const RdcnScenario& cfg,
+                                  const std::vector<SchemeRun>& schemes,
+                                  const std::string& slug,
+                                  const std::string& title);
+
+/// Fig. 8b-style table: one row per scheme, p99 ToR queuing latency at
+/// each packet-plane bandwidth in `packet_gbps`.
+ResultTable rdcn_latency_table(const SweepRunner& runner,
+                               const RdcnScenario& cfg,
+                               const std::vector<SchemeRun>& schemes,
+                               const std::vector<double>& packet_gbps,
+                               const std::string& slug,
+                               const std::string& title);
+
+}  // namespace powertcp::harness

@@ -23,10 +23,12 @@
 /// SweepSpec::metrics callback, which runs on a worker thread — must
 /// only touch its own point's config and result. The library holds no
 /// mutable global state (the only function-local statics —
-/// paper_size_buckets(), cc::make_factory's name list — are const and
-/// initialised thread-safely), but stats::Samples is NOT shareable
-/// across points: percentile()/summary() mutate its lazy sort cache, so
-/// a Samples read by two workers concurrently would be a data race.
+/// paper_size_buckets(), cc::Registry::instance() and the per-scheme
+/// param-spec tables, sender_cc_names() — are const and initialised
+/// thread-safely), but stats::Samples is NOT shareable across points:
+/// percentile()/summary() mutate its lazy sort cache, so a Samples
+/// read by two workers concurrently would be a data race. The tsan
+/// CMake preset runs these pool paths under ThreadSanitizer in CI.
 
 namespace powertcp::harness {
 

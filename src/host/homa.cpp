@@ -6,6 +6,33 @@
 
 namespace powertcp::host {
 
+const std::vector<cc::ParamSpec>& homa_param_specs() {
+  static const std::vector<cc::ParamSpec> kSpecs = {
+      {"rtt_bytes", "-1",
+       "unscheduled window / per-grant cap; <0 derives HostBw*tau"},
+      {"overcommit", "1", "messages holding active grants at once"},
+      {"resend_interval_us", "300", "stalled-message resend probe period"},
+      {"max_resends", "50", "resend probes before giving up"},
+  };
+  return kSpecs;
+}
+
+HomaConfig homa_config_from_params(const cc::ParamMap& overrides,
+                                   const cc::FlowParams& flow) {
+  const cc::ParamReader r("homa", overrides, homa_param_specs());
+  HomaConfig cfg;
+  cfg.rtt_bytes = r.get_int("rtt_bytes", -1);
+  if (cfg.rtt_bytes < 0) {
+    cfg.rtt_bytes = static_cast<std::int64_t>(flow.bdp_bytes());
+  }
+  cfg.overcommit = static_cast<int>(r.get_int("overcommit", cfg.overcommit));
+  cfg.resend_interval =
+      r.get_microseconds("resend_interval_us", cfg.resend_interval);
+  cfg.max_resends = static_cast<int>(r.get_int("max_resends", cfg.max_resends));
+  cfg.mss = flow.mss;
+  return cfg;
+}
+
 HomaTransport::HomaTransport(Host& host, const HomaConfig& cfg)
     : host_(host), cfg_(cfg) {}
 

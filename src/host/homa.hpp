@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cc/cc_algorithm.hpp"
+#include "cc/params.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
@@ -46,6 +48,14 @@ struct HomaConfig {
   sim::TimePs resend_interval = sim::microseconds(300);
   int max_resends = 50;
 };
+
+/// Registry hook: the declared tunables of the "homa" scheme entry and
+/// the `key=value` parser harnesses use to enable the transport.
+/// `rtt_bytes` defaults to the flow's HostBw·τ when not overridden
+/// (the paper's RTTBytes); unknown keys throw std::invalid_argument.
+const std::vector<cc::ParamSpec>& homa_param_specs();
+HomaConfig homa_config_from_params(const cc::ParamMap& overrides,
+                                   const cc::FlowParams& flow);
 
 /// Fired on the *receiving* host when a message's last byte arrives.
 struct MessageCompletion {

@@ -1,0 +1,288 @@
+/// Config-driven runner coverage: the fig6 golden equivalence
+/// (configs/fig6_quick.toml loads exactly the experiment bench_fig6_fct
+/// runs), end-to-end thread-count byte-identity for every experiment
+/// kind, the reTCP/HOMA topology wiring through run_config, and the
+/// loader's rejection paths.
+
+#include "harness/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/config.hpp"
+
+#ifndef POWERTCP_SOURCE_DIR
+#define POWERTCP_SOURCE_DIR "."
+#endif
+
+namespace powertcp::harness {
+namespace {
+
+std::string render_all(const std::vector<ResultTable>& tables) {
+  std::string out;
+  for (const auto& t : tables) {
+    out += t.render_text();
+    t.append_csv(out);
+    t.append_json(out, 0);
+    out += '\n';
+  }
+  return out;
+}
+
+void expect_same_config(const RunnerConfig& a, const RunnerConfig& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.slug_prefix, b.slug_prefix);
+  EXPECT_EQ(a.loads, b.loads);
+  EXPECT_DOUBLE_EQ(a.percentile, b.percentile);
+  ASSERT_EQ(a.schemes.size(), b.schemes.size());
+  for (std::size_t i = 0; i < a.schemes.size(); ++i) {
+    EXPECT_EQ(a.schemes[i].display(), b.schemes[i].display());
+    EXPECT_EQ(a.schemes[i].scheme, b.schemes[i].scheme);
+    EXPECT_EQ(a.schemes[i].params, b.schemes[i].params);
+  }
+  EXPECT_EQ(a.fat_tree.duration, b.fat_tree.duration);
+  EXPECT_EQ(a.fat_tree.seed, b.fat_tree.seed);
+  EXPECT_DOUBLE_EQ(a.fat_tree.size_scale, b.fat_tree.size_scale);
+  EXPECT_EQ(a.fat_tree.expected_flows, b.fat_tree.expected_flows);
+  EXPECT_EQ(a.fat_tree.topo.pods, b.fat_tree.topo.pods);
+  EXPECT_EQ(a.fat_tree.topo.servers_per_tor, b.fat_tree.topo.servers_per_tor);
+  EXPECT_DOUBLE_EQ(a.fat_tree.topo.host_bw.bps(), b.fat_tree.topo.host_bw.bps());
+  EXPECT_DOUBLE_EQ(a.fat_tree.topo.fabric_bw.bps(),
+                   b.fat_tree.topo.fabric_bw.bps());
+}
+
+/// The golden-file link between the unified CLI and the figure bench:
+/// parsing configs/fig6_quick.toml must yield the very RunnerConfig
+/// bench_fig6_fct executes, so `powertcp_run configs/fig6_quick.toml`
+/// and `./build/bench_fig6_fct` print identical tables.
+TEST(RunnerGolden, Fig6ConfigMatchesBench) {
+  const auto file = ConfigFile::parse_file(std::string(POWERTCP_SOURCE_DIR) +
+                                           "/configs/fig6_quick.toml");
+  const RunnerConfig from_config = load_runner_config(file);
+  const RunnerConfig from_bench = fig6_runner_config(false, false);
+  expect_same_config(from_config, from_bench);
+
+  // And the spec both expand to is structurally the one bench_fig6
+  // has always run: same slugs, titles, columns, and point configs.
+  for (const double load : from_bench.loads) {
+    const SweepSpec a =
+        fct_sweep_spec(from_config.fat_tree, load, from_config.percentile,
+                       from_config.schemes, from_config.slug_prefix);
+    const SweepSpec b =
+        fct_sweep_spec(from_bench.fat_tree, load, from_bench.percentile,
+                       from_bench.schemes, from_bench.slug_prefix);
+    EXPECT_EQ(a.title, b.title);
+    EXPECT_EQ(a.slug, b.slug);
+    EXPECT_EQ(a.value_columns, b.value_columns);
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+      EXPECT_EQ(a.points[i].cfg.cc, b.points[i].cfg.cc);
+      EXPECT_EQ(a.points[i].cfg.cc_params, b.points[i].cfg.cc_params);
+      EXPECT_DOUBLE_EQ(a.points[i].cfg.uplink_load,
+                       b.points[i].cfg.uplink_load);
+    }
+  }
+}
+
+TEST(RunnerGolden, ShippedConfigsAllLoad) {
+  for (const char* name : {"fig4_quick.toml", "fig6_quick.toml",
+                           "fig7_load_sweep.toml", "fig8_quick.toml"}) {
+    const auto file = ConfigFile::parse_file(
+        std::string(POWERTCP_SOURCE_DIR) + "/configs/" + name);
+    EXPECT_NO_THROW(load_runner_config(file)) << name;
+  }
+}
+
+RunnerConfig mini_fat_tree_config() {
+  const auto file = ConfigFile::parse(R"(
+[experiment]
+kind = fat_tree
+slug = mini
+schemes = powertcp, dctcp
+seed = 7
+
+[workload]
+loads = 0.3
+duration_ms = 2
+size_scale = 0.05
+
+[cc.powertcp]
+gamma = 0.85
+)",
+                                      "mini.toml");
+  return load_runner_config(file);
+}
+
+TEST(Runner, FatTreeConfigIsByteIdenticalAcrossThreadCounts) {
+  const RunnerConfig cfg = mini_fat_tree_config();
+  const auto t1 = render_all(run_config(cfg, SweepRunner(1)));
+  const auto t3 = render_all(run_config(cfg, SweepRunner(3)));
+  EXPECT_EQ(t1, t3);
+  EXPECT_NE(t1.find("mini_load30"), std::string::npos);
+  EXPECT_NE(t1.find("powertcp"), std::string::npos);
+}
+
+TEST(Runner, FatTreeConfigEqualsDirectlyBuiltSpec) {
+  const RunnerConfig cfg = mini_fat_tree_config();
+  const SweepRunner runner(1);
+  const auto via_config = run_config(cfg, runner);
+  ASSERT_EQ(via_config.size(), 1u);
+  const ResultTable direct = runner.run(fct_sweep_spec(
+      cfg.fat_tree, cfg.loads[0], cfg.percentile, cfg.schemes,
+      cfg.slug_prefix));
+  EXPECT_EQ(via_config[0].render_text(), direct.render_text());
+}
+
+TEST(Runner, RdcnConfigWiresReTcpToTheCircuitSchedule) {
+  const auto file = ConfigFile::parse(R"(
+[experiment]
+kind = rdcn
+slug = minirdcn
+schemes = retcp, powertcp
+
+[topology]
+preset = small
+n_tors = 4
+servers_per_tor = 2
+
+[workload]
+packet_gbps = 25
+flow_mb = 40
+horizon_ms = 1
+bin_us = 50
+
+[cc.retcp]
+prebuffering_us = 300
+)",
+                                      "minirdcn.toml");
+  const RunnerConfig cfg = load_runner_config(file);
+  const auto t1 = render_all(run_config(cfg, SweepRunner(1)));
+  const auto t2 = render_all(run_config(cfg, SweepRunner(4)));
+  EXPECT_EQ(t1, t2);  // thread-count independence
+  // reTCP ran (no CircuitSchedule throw) and moved bytes: its goodput
+  // column holds at least one positive bin.
+  EXPECT_NE(t1.find("retcp gbps"), std::string::npos);
+  EXPECT_NE(t1.find("minirdcn_timeseries"), std::string::npos);
+  EXPECT_NE(t1.find("minirdcn_p99"), std::string::npos);
+}
+
+TEST(Runner, IncastConfigRunsMessageTransportViaRegistry) {
+  const auto file = ConfigFile::parse(R"(
+[experiment]
+kind = incast
+slug = miniincast
+schemes = powertcp, homa
+
+[workload]
+query_kb = 0
+horizon_ms = 1
+bin_us = 100
+
+[cc.homa]
+overcommit = 2
+)",
+                                      "miniincast.toml");
+  const RunnerConfig cfg = load_runner_config(file);
+  const auto t1 = render_all(run_config(cfg, SweepRunner(1)));
+  const auto t2 = render_all(run_config(cfg, SweepRunner(2)));
+  EXPECT_EQ(t1, t2);
+  EXPECT_NE(t1.find("homa gbps"), std::string::npos);
+  EXPECT_NE(t1.find("miniincast_10to1"), std::string::npos);
+}
+
+TEST(Runner, LoaderRejectsUnknownSchemesKeysAndSections) {
+  const auto load = [](const std::string& text) {
+    return load_runner_config(ConfigFile::parse(text, "bad.toml"));
+  };
+  // Unknown scheme name.
+  EXPECT_THROW(load("[experiment]\nschemes = warp-speed\n"), ConfigError);
+  // Param not declared by the scheme.
+  EXPECT_THROW(load("[experiment]\nschemes = powertcp\n"
+                    "[cc.powertcp]\nwarp = 9\n"),
+               ConfigError);
+  // Unknown workload key.
+  EXPECT_THROW(load("[experiment]\nschemes = powertcp\n"
+                    "[workload]\nlods = 0.2\n"),
+               ConfigError);
+  // Unused section (typo'd scheme section).
+  EXPECT_THROW(load("[experiment]\nschemes = powertcp\n"
+                    "[cc.powertpc]\ngamma = 0.9\n"),
+               ConfigError);
+  // Bad kind, missing experiment, empty schemes.
+  EXPECT_THROW(load("[experiment]\nkind = ring\nschemes = powertcp\n"),
+               ConfigError);
+  EXPECT_THROW(load("[workload]\nloads = 0.2\n"), ConfigError);
+  EXPECT_THROW(load("[experiment]\nkind = fat_tree\n"), ConfigError);
+  // A query incast needs a positive fan-in (the query splits across
+  // it); fan_in = 0 with query_kb > 0 must fail at load, not SIGFPE
+  // in the scenario.
+  EXPECT_THROW(load("[experiment]\nkind = incast\nschemes = powertcp\n"
+                    "[workload]\nquery_kb = 100\nfan_in = 0\n"),
+               ConfigError);
+  // Message transports cannot run the RDCN scenario (registry check
+  // fires inside run_config -> scenario).
+  const auto cfg = load(
+      "[experiment]\nkind = rdcn\nschemes = homa\n"
+      "[topology]\npreset = small\n"
+      "[workload]\nhorizon_ms = 1\n");
+  EXPECT_THROW(run_config(cfg, SweepRunner(1)), std::invalid_argument);
+}
+
+TEST(Runner, QueryPointsGetUniqueSlugs) {
+  // Two query sizes in one config must not shadow each other in the
+  // CSV/JSON (the regression gate indexes tables by slug).
+  const auto file = ConfigFile::parse(R"(
+[experiment]
+kind = incast
+schemes = powertcp
+
+[workload]
+query_kb = 500, 2000
+fan_in = 8, 16
+)",
+                                      "slugs.toml");
+  const RunnerConfig cfg = load_runner_config(file);
+  IncastScenario a = cfg.incast;
+  a.query_bytes = 500'000;
+  a.fan_in = 8;
+  IncastScenario b = cfg.incast;
+  b.query_bytes = 2'000'000;
+  b.fan_in = 16;
+  // Slug generation is pure string work; shrink the simulations.
+  a.horizon = b.horizon = sim::microseconds(200);
+  const SweepRunner runner(1);
+  const auto ta = incast_figure_table(runner, a, cfg.schemes, "fig4");
+  const auto tb = incast_figure_table(runner, b, cfg.schemes, "fig4");
+  EXPECT_EQ(ta.slug, "fig4_query500kb");
+  EXPECT_EQ(tb.slug, "fig4_query2000kb");
+}
+
+TEST(Runner, SchemeAliasesRunOneSchemeTwice) {
+  const auto file = ConfigFile::parse(R"(
+[experiment]
+kind = fat_tree
+schemes = fast-power, slow-power
+
+[workload]
+loads = 0.3
+
+[cc.fast-power]
+scheme = powertcp
+gamma = 1.0
+
+[cc.slow-power]
+scheme = powertcp
+gamma = 0.1
+)",
+                                      "alias.toml");
+  const RunnerConfig cfg = load_runner_config(file);
+  ASSERT_EQ(cfg.schemes.size(), 2u);
+  EXPECT_EQ(cfg.schemes[0].display(), "fast-power");
+  EXPECT_EQ(cfg.schemes[0].scheme, "powertcp");
+  EXPECT_EQ(cfg.schemes[0].params.at("gamma"), "1.0");
+  EXPECT_EQ(cfg.schemes[1].params.at("gamma"), "0.1");
+}
+
+}  // namespace
+}  // namespace powertcp::harness
