@@ -1,0 +1,237 @@
+/// Event-engine microbenchmark: the raw cost of the simulator hot path
+/// that paper-scale (--full) runs are bound by. Three workloads
+/// (schedule+fire churn, schedule+cancel churn, and an end-to-end
+/// dumbbell packet run) each measured on both EventQueue backends —
+/// the default binary heap and the calendar queue — plus a
+/// std::function baseline quantifying what the inline-callback /
+/// packet-pool rewrite removed.
+///
+/// Throughput numbers are wall-clock dependent: CI uploads this bench's
+/// JSON as an informational artifact, not a regression gate. The
+/// events-executed columns ARE deterministic and double as a
+/// cross-backend identity check (the bench aborts if they disagree).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cc/factory.hpp"
+#include "harness/bench_opts.hpp"
+#include "harness/sweep.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "topo/dumbbell.hpp"
+
+using namespace powertcp;
+using harness::Cell;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Self-scheduling timer wheels: `wheels` concurrent chains each
+/// re-arming `spacing` ahead — the shape of pacing/RTO timers at scale.
+std::uint64_t run_timer_churn(sim::QueueKind kind, int wheels,
+                              std::uint64_t events) {
+  sim::Simulator s(kind);
+  std::uint64_t remaining = events;
+  std::function<void()> tick = [&] {
+    if (remaining == 0) return;
+    --remaining;
+    s.schedule_in(sim::nanoseconds(100 + remaining % 997), tick);
+  };
+  for (int w = 0; w < wheels; ++w) {
+    s.schedule_at(sim::nanoseconds(w), tick);
+  }
+  s.run();
+  return s.events_executed();
+}
+
+/// Schedule-then-cancel churn: the deduplicated-wakeup pattern of
+/// egress ports (arm a retry, cancel it when work arrives).
+std::uint64_t run_cancel_churn(sim::QueueKind kind, std::uint64_t rounds) {
+  sim::Simulator s(kind);
+  std::uint64_t remaining = rounds;
+  std::function<void()> tick = [&] {
+    if (remaining == 0) return;
+    --remaining;
+    const sim::EventId doomed =
+        s.schedule_in(sim::microseconds(50), [] { std::abort(); });
+    s.schedule_in(sim::nanoseconds(200), tick);
+    s.cancel(doomed);
+  };
+  s.schedule_at(0, tick);
+  s.run();
+  return s.events_executed();
+}
+
+/// End-to-end packet events: two long PowerTCP flows over a dumbbell.
+std::uint64_t run_packet_sim(sim::QueueKind kind, sim::TimePs horizon) {
+  sim::Simulator simulator(kind);
+  net::Network network(simulator);
+  topo::DumbbellConfig cfg;
+  cfg.n_senders = 2;
+  topo::Dumbbell topo(network, cfg);
+  cc::FlowParams params;
+  params.host_bw = cfg.host_bw;
+  params.base_rtt = topo.base_rtt();
+  params.expected_flows = 2;
+  const cc::CcFactory factory = cc::make_factory("powertcp");
+  topo.sender(0).start_flow(1, topo.receiver().id(), 1'000'000'000,
+                            factory(params), params, 0);
+  topo.sender(1).start_flow(2, topo.receiver().id(), 1'000'000'000,
+                            factory(params), params, 0);
+  simulator.run_until(horizon);
+  return simulator.events_executed();
+}
+
+/// std::function baseline for the churn shape, quantifying the removed
+/// per-event allocation (a capture sized like the old Packet capture).
+std::uint64_t run_std_function_baseline(std::uint64_t events) {
+  struct FakePacketCapture {
+    unsigned char bytes[352];
+  };
+  std::vector<std::function<void()>> queue;
+  queue.reserve(64);
+  std::uint64_t fired = 0;
+  FakePacketCapture pkt{};
+  for (std::uint64_t i = 0; i < events; ++i) {
+    queue.emplace_back([pkt, &fired] {
+      fired += pkt.bytes[0] + 1;
+    });
+    if (queue.size() == 64) {
+      for (auto& f : queue) f();
+      queue.clear();
+    }
+  }
+  for (auto& f : queue) f();
+  return fired;
+}
+
+struct Measurement {
+  double mops = 0;
+  std::uint64_t events = 0;
+};
+
+template <typename Fn>
+Measurement measure(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Measurement m;
+  m.events = fn();
+  const double secs = seconds_since(t0);
+  m.mops = secs > 0 ? static_cast<double>(m.events) / secs / 1e6 : 0;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = harness::BenchOptions::parse(argc, argv);
+  if (opts.help) {
+    std::fputs(harness::BenchOptions::usage("bench_event_engine").c_str(),
+               stdout);
+    return 0;
+  }
+  if (!opts.ok) return 2;
+
+  std::uint64_t scale = 2'000'000;
+  sim::TimePs horizon = sim::milliseconds(8);
+  if (opts.fast) {
+    scale = 200'000;
+    horizon = sim::milliseconds(1);
+  }
+  if (opts.full) {
+    scale = 20'000'000;
+    horizon = sim::milliseconds(60);
+  }
+
+  std::printf("event-engine microbenchmark (%llu timer events, %s packet "
+              "horizon)\n\n",
+              static_cast<unsigned long long>(scale),
+              sim::format_time(horizon).c_str());
+
+  harness::BenchReporter reporter("bench_event_engine", opts);
+
+  harness::ResultTable t;
+  t.title = "event engine throughput (million events/sec, wall clock — "
+            "informational, not gated)";
+  t.slug = "event_engine";
+  t.key_columns = {"workload"};
+  t.value_columns = {"heap Mev/s", "calendar Mev/s", "events"};
+
+  const struct {
+    const char* name;
+    std::uint64_t (*fn)(sim::QueueKind, std::uint64_t);
+  } churns[] = {
+      {"timer-churn x64",
+       [](sim::QueueKind k, std::uint64_t n) {
+         return run_timer_churn(k, 64, n);
+       }},
+      {"timer-churn x4096",
+       [](sim::QueueKind k, std::uint64_t n) {
+         return run_timer_churn(k, 4096, n);
+       }},
+      {"schedule+cancel",
+       [](sim::QueueKind k, std::uint64_t n) {
+         return run_cancel_churn(k, n / 2);
+       }},
+  };
+  for (const auto& c : churns) {
+    const Measurement heap =
+        measure([&] { return c.fn(sim::QueueKind::kBinaryHeap, scale); });
+    const Measurement cal =
+        measure([&] { return c.fn(sim::QueueKind::kCalendar, scale); });
+    if (heap.events != cal.events) {
+      std::fprintf(stderr, "FATAL: %s executed %llu (heap) vs %llu "
+                   "(calendar) events — backends diverged\n",
+                   c.name, static_cast<unsigned long long>(heap.events),
+                   static_cast<unsigned long long>(cal.events));
+      return 1;
+    }
+    harness::ResultTable::Row row;
+    row.keys = {Cell(std::string(c.name))};
+    row.values = {Cell(heap.mops, 2), Cell(cal.mops, 2),
+                  Cell::integer(static_cast<std::int64_t>(heap.events))};
+    t.rows.push_back(std::move(row));
+  }
+
+  {
+    const Measurement heap = measure(
+        [&] { return run_packet_sim(sim::QueueKind::kBinaryHeap, horizon); });
+    const Measurement cal = measure(
+        [&] { return run_packet_sim(sim::QueueKind::kCalendar, horizon); });
+    if (heap.events != cal.events) {
+      std::fprintf(stderr, "FATAL: packet-sim event counts diverged\n");
+      return 1;
+    }
+    harness::ResultTable::Row row;
+    row.keys = {Cell(std::string("dumbbell packet sim"))};
+    row.values = {Cell(heap.mops, 2), Cell(cal.mops, 2),
+                  Cell::integer(static_cast<std::int64_t>(heap.events))};
+    t.rows.push_back(std::move(row));
+  }
+  reporter.add(std::move(t));
+
+  // What the rewrite removed: a heap allocation per event for closures
+  // that capture a Packet by value.
+  harness::ResultTable base;
+  base.title = "std::function alloc-per-event baseline (the old hot path)";
+  base.slug = "event_engine_baseline";
+  base.key_columns = {"workload"};
+  base.value_columns = {"Mev/s"};
+  const Measurement sf =
+      measure([&] { return run_std_function_baseline(scale); });
+  harness::ResultTable::Row row;
+  row.keys = {Cell(std::string("std::function + 352B capture"))};
+  row.values = {Cell(sf.mops, 2)};
+  base.rows.push_back(std::move(row));
+  reporter.add(std::move(base));
+
+  return reporter.finish();
+}

@@ -42,7 +42,7 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
   // the message-transport flag) — no scheme is special-cased by name.
   const cc::Scheme& scheme = cc::Registry::instance().at(cfg.cc);
 
-  sim::Simulator simulator;
+  sim::Simulator simulator(cfg.sim_queue);
   net::Network network(simulator);
 
   topo::FatTreeConfig topo_cfg = cfg.topo;

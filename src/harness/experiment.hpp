@@ -4,6 +4,7 @@
 #include <string>
 
 #include "cc/params.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 #include "stats/fct_recorder.hpp"
 #include "stats/percentiles.hpp"
@@ -50,6 +51,11 @@ struct FatTreeExperiment {
 
   /// Fabric queue sampling period for the occupancy CDF (Fig. 7g/7h).
   sim::TimePs queue_sample_every = sim::microseconds(20);
+
+  /// Event-queue backend for the run. Results are backend-independent
+  /// (pinned by tests); the calendar queue pays off on dense paper-scale
+  /// timer workloads.
+  sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
 };
 
 struct ExperimentResult {

@@ -131,6 +131,19 @@ RunnerConfig load_runner_config(const ConfigFile& file) {
   }
   const auto seed = static_cast<std::uint64_t>(exp.get_int("seed", 1));
   rc.percentile = exp.get_double("percentile", rc.percentile);
+  const std::string queue = exp.get_string("sim_queue", "heap");
+  sim::QueueKind sim_queue;
+  if (queue == "heap") {
+    sim_queue = sim::QueueKind::kBinaryHeap;
+  } else if (queue == "calendar") {
+    sim_queue = sim::QueueKind::kCalendar;
+  } else {
+    throw ConfigError(file.origin() + ": [experiment] sim_queue = '" + queue +
+                      "' is not one of heap, calendar");
+  }
+  rc.fat_tree.sim_queue = sim_queue;
+  rc.incast.sim_queue = sim_queue;
+  rc.rdcn.sim_queue = sim_queue;
   exp.finish();
 
   for (const auto& name : scheme_names) {

@@ -23,6 +23,7 @@
 ///   slug = fig6                # table slug prefix
 ///   schemes = powertcp, hpcc, homa
 ///   seed = 42
+///   sim_queue = heap           # heap | calendar (backend-identical)
 ///
 ///   [topology]                 # kind-specific presets + overrides
 ///   preset = quick             # fat-tree: quick | paper

@@ -25,7 +25,7 @@ IncastSeries run_incast_scenario(const IncastScenario& cfg,
                                  const SchemeRun& scheme_run) {
   const cc::Scheme& scheme = resolve(scheme_run);
 
-  sim::Simulator simulator;
+  sim::Simulator simulator(cfg.sim_queue);
   net::Network network(simulator);
   topo::FatTreeConfig topo_cfg = cfg.topo;
   topo_cfg.ecn = scheme.needs.ecn;
@@ -171,7 +171,7 @@ RdcnResult run_rdcn_scenario(const RdcnScenario& cfg,
                                 "scenario drives sender CC algorithms");
   }
 
-  sim::Simulator simulator;
+  sim::Simulator simulator(cfg.sim_queue);
   net::Network network(simulator);
   topo::Rdcn rdcn(network, cfg.topo);
 

@@ -6,6 +6,7 @@
 
 #include "cc/params.hpp"
 #include "harness/sweep.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 #include "topo/fat_tree.hpp"
 #include "topo/rdcn.hpp"
@@ -43,6 +44,8 @@ struct IncastScenario {
   sim::TimePs burst_at = sim::microseconds(500);
   sim::TimePs horizon = sim::milliseconds(3);
   sim::TimePs bin = sim::microseconds(50);
+  /// Event-queue backend; results are backend-independent.
+  sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
 };
 
 /// Receiver goodput and bottleneck ToR-downlink queue, one bin each.
@@ -69,6 +72,8 @@ struct RdcnScenario {
   std::int64_t flow_bytes = 2'000'000'000;
   sim::TimePs horizon = sim::milliseconds(4);
   sim::TimePs bin = sim::microseconds(50);
+  /// Event-queue backend; results are backend-independent.
+  sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
 };
 
 struct RdcnResult {

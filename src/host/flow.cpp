@@ -27,7 +27,15 @@ FlowSender::FlowSender(Host& host, net::FlowId flow, net::NodeId dst,
                         cfg_.rto_base_rtt_factor));
 }
 
-FlowSender::~FlowSender() = default;
+FlowSender::~FlowSender() {
+  // Armed timers capture `this`. Senders are destroyed mid-run (the
+  // Host sweeps completed flows; topologies can be torn down early), so
+  // leaving one armed would dangle. Cancelling fired/stale ids is free.
+  sim::Simulator& sim = host_.simulator();
+  if (pacing_timer_armed_) sim.cancel(pacing_timer_);
+  if (rto_armed_) sim.cancel(rto_timer_);
+  if (!started_) sim.cancel(start_event_);
+}
 
 void FlowSender::start() {
   started_ = true;
@@ -69,6 +77,11 @@ void FlowSender::send_one() {
   pkt.type = net::PacketType::kData;
   pkt.seq = snd_nxt_;
   pkt.payload_bytes = payload;
+  // Flow size and the cumulative acked edge ride in the header so the
+  // receiver can retire its per-flow state at the cumulative edge and
+  // still answer stale retransmissions of completed flows statelessly.
+  pkt.message_bytes = size_;
+  pkt.ack_seq = snd_una_;
   snd_nxt_ += payload;
   host_.send_packet(std::move(pkt));
   // Pacing: spread packets at `pacing_bps_` (wire bytes).

@@ -71,6 +71,10 @@ class FlowSender {
     on_complete_ = std::move(cb);
   }
 
+  /// Records the Host-scheduled start event so destruction before the
+  /// flow begins cancels it (the event captures `this`).
+  void set_start_event(sim::EventId id) { start_event_ = id; }
+
  private:
   void try_send();
   void send_one();
@@ -97,6 +101,7 @@ class FlowSender {
   sim::EventId pacing_timer_{};
   bool rto_armed_ = false;
   sim::EventId rto_timer_{};
+  sim::EventId start_event_{};
   sim::TimePs current_rto_ = 0;
   sim::TimePs srtt_ = 0;
   bool started_ = false;

@@ -36,6 +36,12 @@ HomaConfig homa_config_from_params(const cc::ParamMap& overrides,
 HomaTransport::HomaTransport(Host& host, const HomaConfig& cfg)
     : host_(host), cfg_(cfg) {}
 
+HomaTransport::~HomaTransport() {
+  // The resend probe captures `this`; cancel it so tearing a host down
+  // with incomplete messages cannot leave a dangling callback.
+  if (resend_timer_armed_) host_.simulator().cancel(resend_timer_);
+}
+
 std::uint8_t HomaTransport::unscheduled_priority(
     std::int64_t message_bytes) const {
   // Band 0 is reserved for grants; small messages get the next bands.
@@ -203,7 +209,7 @@ void HomaTransport::send_grant(net::FlowId id, InMessage& m,
 void HomaTransport::arm_resend_timer() {
   if (resend_timer_armed_ || incoming_.empty()) return;
   resend_timer_armed_ = true;
-  host_.simulator().schedule_in(cfg_.resend_interval, [this] {
+  resend_timer_ = host_.simulator().schedule_in(cfg_.resend_interval, [this] {
     resend_timer_armed_ = false;
     check_stalled();
   });

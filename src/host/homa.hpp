@@ -69,6 +69,7 @@ using MessageCallback = std::function<void(const MessageCompletion&)>;
 class HomaTransport {
  public:
   HomaTransport(Host& host, const HomaConfig& cfg);
+  ~HomaTransport();
 
   /// Sends a message; unscheduled bytes leave immediately.
   void send_message(net::FlowId message, net::NodeId dst,
@@ -125,6 +126,7 @@ class HomaTransport {
   std::map<net::FlowId, InMessage> incoming_;  // ordered for determinism
   MessageCallback on_complete_;
   bool resend_timer_armed_ = false;
+  sim::EventId resend_timer_{};
 };
 
 }  // namespace powertcp::host

@@ -11,7 +11,12 @@ namespace powertcp::host {
 Host::Host(sim::Simulator& simulator, net::NodeId id, std::string name)
     : net::Node(id, std::move(name)), sim_(simulator) {}
 
-Host::~Host() = default;
+Host::~Host() {
+  // Armed retire timers capture `this`.
+  for (auto& [flow, rs] : receivers_) {
+    if (rs.retire_armed) sim_.cancel(rs.retire_event);
+  }
+}
 
 net::EgressPort& Host::nic() {
   if (port_count() == 0) {
@@ -55,12 +60,52 @@ void Host::receive(net::Packet pkt, int /*in_port*/) {
 }
 
 void Host::handle_data(net::Packet pkt) {
-  ReceiverState& rs = receivers_[pkt.flow];
+  auto it = receivers_.find(pkt.flow);
+  if (it == receivers_.end()) {
+    // Data packets echo the sender's cumulative received-ack edge in
+    // ack_seq. A nonzero edge proves this receiver once produced acks
+    // for the flow — so its missing state can only have been retired
+    // after completion. Answer the go-back-N retransmission with the
+    // full-size ack the retained state would have produced, without
+    // resurrecting state. A zero edge proves nothing (e.g. the flow's
+    // first packets were dropped): fall through and create state.
+    if (pkt.ack_seq > 0 && pkt.message_bytes > 0) {
+      send_packet(net::make_ack(pkt, pkt.message_bytes));
+      return;
+    }
+    it = receivers_.emplace(pkt.flow, ReceiverState{}).first;
+  }
+  ReceiverState& rs = it->second;
+  // A completed flow's edge equals its exact size, and every replay of
+  // it carries that size in message_bytes. A different size therefore
+  // proves a NEW flow reusing the id before the old state retired —
+  // without this reset the stale edge would instantly "ack" the whole
+  // new flow. (Reusing an id within the grace period with the *same*
+  // size is indistinguishable from a replay and stays unsupported;
+  // after the grace period any reuse is clean.)
+  if (rs.retire_armed && pkt.message_bytes > 0 &&
+      pkt.message_bytes != rs.expected_seq) {
+    sim_.cancel(rs.retire_event);
+    rs = ReceiverState{};
+  }
+  rs.last_activity = sim_.now();
   std::int64_t delivered = 0;
   if (pkt.seq <= rs.expected_seq) {
     const std::int64_t new_edge = pkt.seq + pkt.payload_bytes;
     delivered = std::max<std::int64_t>(0, new_edge - rs.expected_seq);
     rs.expected_seq = std::max(rs.expected_seq, new_edge);
+  }
+  // Complete flows retire after a quiet period rather than immediately:
+  // the sender may still replay the flow (its RTO racing our acks), and
+  // those replays must see the same acks the retained state produces.
+  // The timer never touches the network, so retirement is invisible to
+  // packet traces.
+  if (pkt.message_bytes > 0 && rs.expected_seq >= pkt.message_bytes &&
+      !rs.retire_armed) {
+    rs.retire_armed = true;
+    const net::FlowId flow = pkt.flow;
+    rs.retire_event = sim_.schedule_in(
+        kReceiverGrace, [this, flow] { retire_receiver(flow); });
   }
   // Out-of-order packets (go-back-N) generate duplicate acks below.
   if (delivered > 0 && data_cb_) data_cb_(pkt.flow, delivered, sim_.now());
@@ -68,10 +113,35 @@ void Host::handle_data(net::Packet pkt) {
   send_packet(std::move(ack));
 }
 
+void Host::retire_receiver(net::FlowId flow) {
+  const auto it = receivers_.find(flow);
+  if (it == receivers_.end()) return;
+  ReceiverState& rs = it->second;
+  const sim::TimePs quiet_until = rs.last_activity + kReceiverGrace;
+  if (sim_.now() < quiet_until) {
+    // A replay arrived since arming; wait out a fresh quiet period.
+    rs.retire_event = sim_.schedule_at(
+        quiet_until, [this, flow] { retire_receiver(flow); });
+    return;
+  }
+  receivers_.erase(it);
+}
+
 void Host::handle_ack(const net::Packet& pkt) {
   const auto it = senders_.find(pkt.flow);
   if (it == senders_.end()) return;  // flow gone (e.g. post-completion ack)
-  it->second->on_ack(pkt);
+  FlowSender* sender = it->second.get();
+  sender->on_ack(pkt);
+  // Deferred sweep: a completed sender erases itself here, after its
+  // own on_ack frame has returned. Re-find instead of reusing `it` —
+  // the completion callback may have started flows (rehash) or, in
+  // principle, reused the id.
+  if (sender->complete()) {
+    const auto again = senders_.find(pkt.flow);
+    if (again != senders_.end() && again->second.get() == sender) {
+      senders_.erase(again);
+    }
+  }
 }
 
 FlowSender& Host::start_flow(net::FlowId flow, net::NodeId dst,
@@ -87,7 +157,7 @@ FlowSender& Host::start_flow(net::FlowId flow, net::NodeId dst,
   if (!inserted) {
     throw std::invalid_argument("Host::start_flow: duplicate flow id");
   }
-  sim_.schedule_at(start_time, [raw] { raw->start(); });
+  raw->set_start_event(sim_.schedule_at(start_time, [raw] { raw->start(); }));
   if (on_complete) {
     // Poll-free completion: the sender records finish_time; we watch the
     // ack path by wrapping via a completion check after each ack would

@@ -58,18 +58,37 @@ class Host final : public net::Node {
 
   sim::Simulator& simulator() { return sim_; }
 
+  /// Looks up a live (started or pending) sender flow. Completed flows
+  /// are swept from the table — at paper scale hundreds of thousands of
+  /// short flows churn through one host, so per-flow state must retire
+  /// with the flow. Returns nullptr after completion.
   FlowSender* sender(net::FlowId flow);
+
+  /// Live per-flow state counts (leak regression tests).
+  std::size_t active_senders() const { return senders_.size(); }
+  std::size_t active_receivers() const { return receivers_.size(); }
 
   /// Enqueues a packet on the NIC, stamping src/sent_time.
   void send_packet(net::Packet pkt);
 
+  /// Quiet period after a flow's last data packet before its receiver
+  /// state retires. Long enough that go-back-N replays (the sender's
+  /// RTO racing our acks, with exponential backoff) still find the
+  /// state and see identical acks; after retirement the sender-edge
+  /// echo in data packets answers stragglers statelessly.
+  static constexpr sim::TimePs kReceiverGrace = sim::milliseconds(2);
+
  private:
   struct ReceiverState {
     std::int64_t expected_seq = 0;
+    sim::TimePs last_activity = 0;
+    bool retire_armed = false;
+    sim::EventId retire_event{};
   };
 
   void handle_data(net::Packet pkt);
   void handle_ack(const net::Packet& pkt);
+  void retire_receiver(net::FlowId flow);
 
   sim::Simulator& sim_;
   std::unordered_map<net::FlowId, std::unique_ptr<FlowSender>> senders_;

@@ -145,10 +145,11 @@ void CircuitSwitchNode::receive(Packet pkt, int /*in_port*/) {
   if (link.tor == nullptr) {
     throw std::logic_error("CircuitSwitchNode: destination ToR not attached");
   }
-  sim_.schedule_in(link.propagation,
-                   [link, pkt = std::move(pkt)]() mutable {
-                     link.tor->receive(std::move(pkt), link.in_port);
-                   });
+  const PacketPool::Handle h = pool_.put(std::move(pkt));
+  sim_.schedule_in(link.propagation, [this, dst_tor, h] {
+    const TorLink& out = tors_[static_cast<std::size_t>(dst_tor)];
+    out.tor->receive(pool_.take(h), out.in_port);
+  });
 }
 
 }  // namespace powertcp::net

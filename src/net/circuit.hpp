@@ -6,6 +6,7 @@
 
 #include "net/egress_port.hpp"
 #include "net/node.hpp"
+#include "net/packet_pool.hpp"
 #include "net/queue.hpp"
 #include "sim/simulator.hpp"
 
@@ -129,6 +130,9 @@ class CircuitSwitchNode final : public Node {
   const CircuitSchedule* schedule_;
   std::function<int(NodeId)> tor_of_dst_;
   std::vector<TorLink> tors_;
+  /// Parks packets crossing the switch so the delivery event captures a
+  /// handle instead of the packet.
+  PacketPool pool_;
 };
 
 }  // namespace powertcp::net

@@ -8,7 +8,17 @@ EgressPort::EgressPort(sim::Simulator& simulator, sim::Bandwidth bw,
                        sim::TimePs propagation_delay)
     : sim_(simulator), bandwidth_(bw), propagation_(propagation_delay) {}
 
-EgressPort::~EgressPort() = default;
+EgressPort::~EgressPort() {
+  // The pending wakeup and the in-flight serialization both capture
+  // `this`; cancel them so destroying a port mid-run (e.g. tearing a
+  // topology down) cannot leave a dangling callback in the engine.
+  // Packets already on the wire (propagation events) still reference
+  // this port and its peer: as in the pre-pool engine, nodes must
+  // outlive deliveries in flight — don't run the simulator after
+  // destroying parts of a network that still has packets airborne.
+  if (pending_kick_at_ != sim::kTimeInfinity) sim_.cancel(pending_kick_id_);
+  if (busy_) sim_.cancel(tx_event_);
+}
 
 bool EgressPort::enqueue(Packet pkt) {
   const std::int64_t sz = pkt.wire_bytes();
@@ -71,9 +81,11 @@ void EgressPort::start_tx(Packet pkt) {
   tx_bytes_ += pkt.wire_bytes();
   ++tx_packets_;
   const sim::TimePs tx_time = bandwidth_.tx_time(pkt.wire_bytes());
-  sim_.schedule_in(tx_time, [this, pkt = std::move(pkt)]() mutable {
-    finish_tx(std::move(pkt));
-  });
+  // The packet rides in the pool, not the closure: capturing it by
+  // value would heap-allocate ~350 bytes per transmission.
+  const PacketPool::Handle h = pool_.put(std::move(pkt));
+  tx_event_ =
+      sim_.schedule_in(tx_time, [this, h] { finish_tx(pool_.take(h)); });
 }
 
 void EgressPort::finish_tx(Packet pkt) {
@@ -81,11 +93,10 @@ void EgressPort::finish_tx(Packet pkt) {
   if (shared_buffer_ != nullptr) shared_buffer_->on_dequeue(pkt.wire_bytes());
   if (tx_monitor_ != nullptr) tx_monitor_->add_bytes(sim_.now(), pkt.wire_bytes());
   if (peer_ != nullptr) {
-    sim_.schedule_in(propagation_,
-                     [peer = peer_, in_port = peer_in_port_,
-                      pkt = std::move(pkt)]() mutable {
-                       peer->receive(std::move(pkt), in_port);
-                     });
+    const PacketPool::Handle h = pool_.put(std::move(pkt));
+    sim_.schedule_in(propagation_, [this, h] {
+      peer_->receive(pool_.take(h), peer_in_port_);
+    });
   }
   kick();
 }

@@ -7,6 +7,7 @@
 
 #include "net/dt_buffer.hpp"
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "net/queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -128,6 +129,11 @@ class EgressPort {
 
   sim::TimePs pending_kick_at_ = sim::kTimeInfinity;
   sim::EventId pending_kick_id_{};
+  sim::EventId tx_event_{};  ///< pending finish_tx; valid while busy_
+
+  /// Parks packets between start_tx -> finish_tx and finish_tx ->
+  /// delivery so those events capture an 8-byte handle, not the packet.
+  PacketPool pool_;
 
   stats::QueueSeries* queue_monitor_ = nullptr;
   stats::ThroughputSeries* tx_monitor_ = nullptr;

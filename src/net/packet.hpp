@@ -87,7 +87,11 @@ struct Packet {
   bool ecn_marked = false;  ///< CE codepoint, set by marking switches
   bool ecn_echo = false;    ///< ECE on acks
 
-  std::int64_t ack_seq = 0;  ///< cumulative ack: next expected byte
+  /// Cumulative ack: next expected byte. On *data* packets this echoes
+  /// the sender's received-ack edge, which lets the receiver retire
+  /// per-flow state at completion yet still recognize (and statelessly
+  /// re-ack) go-back-N retransmissions of completed flows.
+  std::int64_t ack_seq = 0;
 
   /// Forward-path INT; on acks this is the echo of the acked data packet.
   IntHeader int_hdr;

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "net/packet.hpp"
+
+/// \file packet_pool.hpp
+/// Generation-checked parking lot for in-flight Packets.
+///
+/// A Packet is ~350 bytes (mostly the 8-hop INT header), so capturing
+/// one by value in an event closure forces a heap allocation per event.
+/// Instead the owner parks the packet here and captures only the 8-byte
+/// Handle; the event reclaims it with take(). Generations catch
+/// use-after-take and double-take at the call site instead of silently
+/// reading recycled storage. Storage grows to the high-water mark of
+/// simultaneously in-flight packets and is recycled thereafter — the
+/// steady-state path allocates nothing.
+
+namespace powertcp::net {
+
+class PacketPool {
+ public:
+  struct Handle {
+    std::uint32_t index = 0;
+    std::uint32_t gen = 0;
+  };
+
+  /// Parks a packet; the returned handle redeems it exactly once.
+  Handle put(Packet&& pkt) {
+    std::uint32_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+      entries_[idx].pkt = std::move(pkt);
+    } else {
+      idx = static_cast<std::uint32_t>(entries_.size());
+      entries_.push_back(Entry{std::move(pkt), 1});
+    }
+    ++live_;
+    return Handle{idx, entries_[idx].gen};
+  }
+
+  /// Redeems a handle, freeing its slot. Throws on stale/foreign
+  /// handles (double take, or a handle from another pool).
+  Packet take(Handle h) {
+    if (h.index >= entries_.size() || entries_[h.index].gen != h.gen) {
+      throw std::logic_error("PacketPool::take: stale handle");
+    }
+    Entry& e = entries_[h.index];
+    ++e.gen;  // invalidate the redeemed handle
+    free_.push_back(h.index);
+    --live_;
+    return std::move(e.pkt);
+  }
+
+  /// Packets currently parked.
+  std::size_t live() const { return live_; }
+  /// High-water mark of simultaneously parked packets.
+  std::size_t capacity() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Packet pkt;
+    std::uint32_t gen = 1;
+  };
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace powertcp::net

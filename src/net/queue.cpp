@@ -5,25 +5,48 @@
 namespace powertcp::net {
 
 void FifoQueue::push(Packet pkt) {
-  bytes_ += pkt.wire_bytes();
-  q_.push_back(std::move(pkt));
+  std::uint32_t idx;
+  if (free_head_ != kNil) {
+    idx = free_head_;
+    free_head_ = arena_[idx].next;
+    arena_[idx].pkt = std::move(pkt);
+  } else {
+    idx = static_cast<std::uint32_t>(arena_.size());
+    arena_.push_back(Node{std::move(pkt), kNil});
+  }
+  arena_[idx].next = kNil;
+  if (tail_ == kNil) {
+    head_ = idx;
+  } else {
+    arena_[tail_].next = idx;
+  }
+  tail_ = idx;
+  ++count_;
+  bytes_ += arena_[idx].pkt.wire_bytes();
 }
 
 std::optional<Packet> FifoQueue::pop() {
-  if (q_.empty()) return std::nullopt;
-  Packet pkt = std::move(q_.front());
-  q_.pop_front();
+  if (count_ == 0) return std::nullopt;
+  const std::uint32_t idx = head_;
+  Node& n = arena_[idx];
+  Packet pkt = std::move(n.pkt);
+  head_ = n.next;
+  if (head_ == kNil) tail_ = kNil;
+  n.next = free_head_;
+  free_head_ = idx;
+  --count_;
   bytes_ -= pkt.wire_bytes();
   return pkt;
 }
 
 const Packet* FifoQueue::peek_next() const {
-  return q_.empty() ? nullptr : &q_.front();
+  return count_ == 0 ? nullptr : &arena_[head_].pkt;
 }
 
 PriorityQueue::PriorityQueue(int bands) {
   if (bands <= 0) throw std::invalid_argument("PriorityQueue: bands <= 0");
   bands_.resize(static_cast<std::size_t>(bands));
+  band_bytes_.assign(static_cast<std::size_t>(bands), 0);
 }
 
 void PriorityQueue::push(Packet pkt) {
@@ -32,16 +55,19 @@ void PriorityQueue::push(Packet pkt) {
           ? static_cast<std::size_t>(pkt.priority)
           : bands_.size() - 1;
   bytes_ += pkt.wire_bytes();
+  band_bytes_[band] += pkt.wire_bytes();
   ++packets_;
   bands_[band].push_back(std::move(pkt));
 }
 
 std::optional<Packet> PriorityQueue::pop() {
-  for (auto& band : bands_) {
+  for (std::size_t b = 0; b < bands_.size(); ++b) {
+    auto& band = bands_[b];
     if (!band.empty()) {
       Packet pkt = std::move(band.front());
       band.pop_front();
       bytes_ -= pkt.wire_bytes();
+      band_bytes_[b] -= pkt.wire_bytes();
       --packets_;
       return pkt;
     }
@@ -54,14 +80,6 @@ const Packet* PriorityQueue::peek_next() const {
     if (!band.empty()) return &band.front();
   }
   return nullptr;
-}
-
-std::int64_t PriorityQueue::band_bytes(int band) const {
-  std::int64_t total = 0;
-  for (const Packet& p : bands_.at(static_cast<std::size_t>(band))) {
-    total += p.wire_bytes();
-  }
-  return total;
 }
 
 VoqSet::VoqSet(int n_queues, std::function<int(NodeId)> classify)

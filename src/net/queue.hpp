@@ -29,17 +29,33 @@ class QueueDiscipline {
   bool empty() const { return packets() == 0; }
 };
 
-/// Plain FIFO.
+/// Plain FIFO over an index-linked node arena. A deque of ~350-byte
+/// Packets puts one element per block on libstdc++, i.e. one heap
+/// allocation per push — the arena grows to the backlog high-water mark
+/// once and then recycles, keeping the per-packet path allocation-free.
+/// Freed nodes are reused LIFO so a push lands on the cache lines the
+/// preceding pop just touched (the behavior malloc's tcache gave the
+/// deque) instead of cycling through cold storage.
 class FifoQueue final : public QueueDiscipline {
  public:
   void push(Packet pkt) override;
   std::optional<Packet> pop() override;
   const Packet* peek_next() const override;
   std::int64_t bytes() const override { return bytes_; }
-  std::size_t packets() const override { return q_.size(); }
+  std::size_t packets() const override { return count_; }
 
  private:
-  std::deque<Packet> q_;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  struct Node {
+    Packet pkt;
+    std::uint32_t next = kNil;
+  };
+
+  std::vector<Node> arena_;
+  std::uint32_t free_head_ = kNil;  ///< LIFO freelist of arena slots
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  std::size_t count_ = 0;
   std::int64_t bytes_ = 0;
 };
 
@@ -55,10 +71,15 @@ class PriorityQueue final : public QueueDiscipline {
   std::int64_t bytes() const override { return bytes_; }
   std::size_t packets() const override { return packets_; }
 
-  std::int64_t band_bytes(int band) const;
+  /// Backlog of one band, maintained as a counter (O(1); this used to
+  /// scan the band's packets on every call).
+  std::int64_t band_bytes(int band) const {
+    return band_bytes_.at(static_cast<std::size_t>(band));
+  }
 
  private:
   std::vector<std::deque<Packet>> bands_;
+  std::vector<std::int64_t> band_bytes_;
   std::int64_t bytes_ = 0;
   std::size_t packets_ = 0;
 };

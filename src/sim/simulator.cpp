@@ -19,22 +19,22 @@ EventId Simulator::schedule_at(TimePs t, Callback cb) {
   }
   slots_[slot].seq = seq;
   slots_[slot].cb = std::move(cb);
-  heap_.push(Entry{t, seq, slot});
+  queue_push(EventEntry{t, seq, slot});
   ++live_events_;
   return EventId{seq, slot};
 }
 
 bool Simulator::pop_and_run_next(TimePs limit) {
-  while (!heap_.empty()) {
-    const Entry top = heap_.top();
+  while (const EventEntry* top_ptr = queue_peek()) {
+    const EventEntry top = *top_ptr;
     // Tombstone: the slot was freed at cancel time (and possibly reused
     // for a newer event, whose seq then differs).
     if (slots_[top.slot].seq != top.seq) {
-      heap_.pop();
+      queue_pop();
       continue;
     }
     if (top.time > limit) return false;
-    heap_.pop();
+    queue_pop();
     Callback cb = std::move(slots_[top.slot].cb);
     release_slot(top.slot);
     --live_events_;

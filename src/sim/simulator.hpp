@@ -1,11 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "sim/callback.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 /// \file simulator.hpp
@@ -17,12 +18,16 @@
 /// relied on by the regression tests, which compare whole packet traces
 /// across runs.
 ///
-/// Storage is split between a priority queue of small POD entries
-/// (time, seq, slot) and a slot table holding the callbacks. Cancelling
-/// frees the slot immediately — an O(1) generation check against the
-/// EventId's seq, with no lookaside set that could grow when stale ids
-/// are cancelled — and leaves only the POD heap entry behind as a
-/// tombstone that is discarded when it reaches the top.
+/// Storage is split between an EventQueue of small POD entries
+/// (time, seq, slot) — a binary heap by default, a calendar queue for
+/// dense timer workloads (QueueKind, chosen per run) — and a slot table
+/// holding the callbacks. Callbacks are sim::Callback, which embeds the
+/// closure in the slot (no per-event heap allocation; oversized captures
+/// fail to compile). Cancelling frees the slot immediately — an O(1)
+/// generation check against the EventId's seq, with no lookaside set
+/// that could grow when stale ids are cancelled — and leaves only the
+/// POD queue entry behind as a tombstone that is discarded when it
+/// reaches the top.
 
 namespace powertcp::sim {
 
@@ -36,9 +41,11 @@ struct EventId {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
-
-  Simulator() = default;
+  explicit Simulator(QueueKind queue_kind = QueueKind::kBinaryHeap)
+      : queue_(make_event_queue(queue_kind)),
+        heap_(queue_kind == QueueKind::kBinaryHeap
+                  ? static_cast<BinaryHeapEventQueue*>(queue_.get())
+                  : nullptr) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -78,25 +85,19 @@ class Simulator {
   bool pending() const { return live_events_ > 0; }
   std::uint64_t events_executed() const { return executed_; }
 
-  /// Heap entries for cancelled events awaiting lazy removal. Bounded by
+  /// Queue entries for cancelled events awaiting lazy removal. Bounded by
   /// the number of currently scheduled events ever in flight; regression
   /// tests assert it never grows from cancelling stale ids.
   std::size_t tombstones() const {
-    return heap_.size() - static_cast<std::size_t>(live_events_);
+    return queue_->size() - static_cast<std::size_t>(live_events_);
   }
 
+  /// Slot-table introspection for leak regression tests: the table's
+  /// high-water size and how many of those slots are currently free.
+  std::size_t slot_count() const { return slots_.size(); }
+  std::size_t free_slot_count() const { return free_slots_.size(); }
+
  private:
-  struct Entry {
-    TimePs time;
-    std::uint64_t seq;
-    std::uint32_t slot;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
   struct Slot {
     std::uint64_t seq = 0;  ///< 0 = free; else seq of the event it holds
     Callback cb;
@@ -105,13 +106,35 @@ class Simulator {
   void release_slot(std::uint32_t idx) {
     Slot& s = slots_[idx];
     s.seq = 0;
-    s.cb = nullptr;
+    s.cb.reset();
     free_slots_.push_back(idx);
   }
 
   bool pop_and_run_next(TimePs limit);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Devirtualized fast path for the default backend: the branch on
+  // `heap_` predicts perfectly and lets the final class's inline
+  // methods inline, where the virtual call cannot.
+  void queue_push(const EventEntry& e) {
+    if (heap_ != nullptr) {
+      heap_->push(e);
+    } else {
+      queue_->push(e);
+    }
+  }
+  const EventEntry* queue_peek() {
+    return heap_ != nullptr ? heap_->peek() : queue_->peek();
+  }
+  void queue_pop() {
+    if (heap_ != nullptr) {
+      heap_->pop();
+    } else {
+      queue_->pop();
+    }
+  }
+
+  std::unique_ptr<EventQueue> queue_;
+  BinaryHeapEventQueue* const heap_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   TimePs now_ = 0;

@@ -123,6 +123,36 @@ TEST(Runner, FatTreeConfigIsByteIdenticalAcrossThreadCounts) {
   EXPECT_NE(t1.find("powertcp"), std::string::npos);
 }
 
+TEST(Runner, CalendarQueueProducesByteIdenticalTables) {
+  // The event-queue backend is a pure data-structure swap: the whole
+  // fat-tree experiment must render identical tables on the calendar
+  // queue and the default binary heap.
+  RunnerConfig heap_cfg = mini_fat_tree_config();
+  RunnerConfig cal_cfg = mini_fat_tree_config();
+  cal_cfg.fat_tree.sim_queue = sim::QueueKind::kCalendar;
+  const SweepRunner runner(1);
+  EXPECT_EQ(render_all(run_config(heap_cfg, runner)),
+            render_all(run_config(cal_cfg, runner)));
+}
+
+TEST(Runner, SimQueueKeyParsesAndRejectsUnknownBackends) {
+  const auto config_with = [](const std::string& queue_line) {
+    return "[experiment]\nkind = fat_tree\nschemes = powertcp\n" +
+           queue_line + "[workload]\nloads = 0.3\n";
+  };
+  const auto cal = load_runner_config(
+      ConfigFile::parse(config_with("sim_queue = calendar\n"), "q.toml"));
+  EXPECT_EQ(cal.fat_tree.sim_queue, sim::QueueKind::kCalendar);
+  EXPECT_EQ(cal.incast.sim_queue, sim::QueueKind::kCalendar);
+  EXPECT_EQ(cal.rdcn.sim_queue, sim::QueueKind::kCalendar);
+  const auto heap =
+      load_runner_config(ConfigFile::parse(config_with(""), "q.toml"));
+  EXPECT_EQ(heap.fat_tree.sim_queue, sim::QueueKind::kBinaryHeap);
+  EXPECT_THROW(load_runner_config(ConfigFile::parse(
+                   config_with("sim_queue = wheel\n"), "q.toml")),
+               ConfigError);
+}
+
 TEST(Runner, FatTreeConfigEqualsDirectlyBuiltSpec) {
   const RunnerConfig cfg = mini_fat_tree_config();
   const SweepRunner runner(1);

@@ -70,12 +70,14 @@ TEST_F(FlowFixture, ReachesLineRateGoodput) {
 
 TEST_F(FlowFixture, InflightNeverExceedsWindowPlusOnePacket) {
   build();
-  FlowSender& s = start(0, 1, 5'000'000);
+  start(0, 1, 5'000'000);
   bool violated = false;
   std::function<void()> probe = [&] {
-    if (s.started() && !s.complete()) {
-      if (static_cast<double>(s.inflight_bytes()) >
-          std::max(s.cwnd_bytes(), 1048.0) + 1048.0) {
+    // Look the sender up each probe: the host sweeps it at completion.
+    if (FlowSender* s = topo->sender(0).sender(1);
+        s != nullptr && s->started() && !s->complete()) {
+      if (static_cast<double>(s->inflight_bytes()) >
+          std::max(s->cwnd_bytes(), 1048.0) + 1048.0) {
         violated = true;
       }
     }

@@ -104,5 +104,23 @@ TEST(CircuitSchedule, NextConnectionRejectsSelf) {
   EXPECT_THROW(s.next_connection(2, 2, 0), std::invalid_argument);
 }
 
+TEST(CircuitPort, DestructorCancelsThePendingWakeup) {
+  // kick() on an empty VOQ set schedules a retry at the next day start;
+  // that callback captures the port. Destroying the port must cancel
+  // it — the simulator then runs nothing (and nothing dangles).
+  sim::Simulator simulator;
+  CircuitSchedule schedule(4, microseconds(10), microseconds(2));
+  VoqSet voqs(4, [](NodeId dst) { return static_cast<int>(dst) % 4; });
+  auto port = std::make_unique<CircuitPort>(simulator,
+                                            sim::Bandwidth::gbps(100),
+                                            microseconds(1), &voqs,
+                                            &schedule, /*my_tor=*/0);
+  port->kick();  // day, but VOQ empty: retry armed for the next day
+  port.reset();
+  simulator.run();
+  EXPECT_EQ(simulator.events_executed(), 0u);
+  EXPECT_FALSE(simulator.pending());
+}
+
 }  // namespace
 }  // namespace powertcp::net

@@ -122,5 +122,56 @@ TEST(VoqSet, PeekDoesNotRemove) {
   EXPECT_EQ(v.total_packets(), 1u);
 }
 
+TEST(FifoQueue, RingWrapsAcrossManyPushPopCycles) {
+  // The ring recycles its storage: oscillating around the growth
+  // boundary and wrapping head/tail many times must preserve FIFO
+  // order and byte accounting.
+  FifoQueue q;
+  FlowId next = 1;
+  FlowId expect = 1;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    for (int i = 0; i < 7; ++i) q.push(pkt(next++, 100));
+    for (int i = 0; i < 5; ++i) {
+      auto p = q.pop();
+      ASSERT_TRUE(p.has_value());
+      EXPECT_EQ(p->flow, expect++);
+    }
+  }
+  EXPECT_EQ(q.packets(), 200u);
+  EXPECT_EQ(q.bytes(), 200 * (100 + kHeaderBytes));
+  while (auto p = q.pop()) EXPECT_EQ(p->flow, expect++);
+  EXPECT_EQ(q.bytes(), 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(PriorityQueue, BandBytesCountersTrackPushAndPop) {
+  PriorityQueue q(4);
+  q.push(pkt(1, 100, 0));
+  q.push(pkt(2, 200, 2));
+  q.push(pkt(3, 300, 2));
+  EXPECT_EQ(q.band_bytes(0), 100 + kHeaderBytes);
+  EXPECT_EQ(q.band_bytes(1), 0);
+  EXPECT_EQ(q.band_bytes(2), 500 + 2 * kHeaderBytes);
+  q.pop();  // drains band 0
+  EXPECT_EQ(q.band_bytes(0), 0);
+  q.pop();  // first of band 2
+  EXPECT_EQ(q.band_bytes(2), 300 + kHeaderBytes);
+  q.pop();
+  EXPECT_EQ(q.band_bytes(2), 0);
+  EXPECT_EQ(q.bytes(), 0);
+}
+
+TEST(PriorityQueue, BandBytesCountsClampedPushesInLowestBand) {
+  PriorityQueue q(2);
+  q.push(pkt(1, 100, 7));  // clamps to band 1
+  EXPECT_EQ(q.band_bytes(1), 100 + kHeaderBytes);
+  EXPECT_EQ(q.band_bytes(0), 0);
+}
+
+TEST(PriorityQueue, BandBytesOutOfRangeThrows) {
+  PriorityQueue q(2);
+  EXPECT_THROW(q.band_bytes(2), std::out_of_range);
+}
+
 }  // namespace
 }  // namespace powertcp::net
