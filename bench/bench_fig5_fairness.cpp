@@ -4,114 +4,19 @@
 /// every arrival/departure, TIMELY oscillating, and HOMA (receiver
 /// SRPT) serving messages by remaining size rather than fairly.
 ///
-/// The per-algorithm simulations are independent and run on the
-/// --threads=N pool; output is identical for every N.
+/// The scenario lives in harness/scenarios.* behind the `dumbbell`
+/// registry kind (shared with `powertcp_run configs/fig5_quick.toml`,
+/// which prints identical tables — pinned by
+/// RunnerGolden.Fig5ConfigMatchesBench). Per-algorithm simulations are
+/// independent and run on the --threads=N pool; output is identical
+/// for every N.
 
-#include <array>
 #include <cstdio>
-#include <functional>
-#include <string>
-#include <vector>
 
-#include "cc/factory.hpp"
 #include "harness/bench_opts.hpp"
-#include "harness/sweep.hpp"
-#include "host/homa.hpp"
-#include "net/network.hpp"
-#include "sim/simulator.hpp"
-#include "stats/timeseries.hpp"
-#include "topo/dumbbell.hpp"
+#include "harness/runner.hpp"
 
 using namespace powertcp;
-using harness::Cell;
-
-namespace {
-
-struct FlowSeries {
-  std::vector<sim::TimePs> bin_start;
-  std::array<std::vector<double>, 4> gbps;
-};
-
-FlowSeries run(const std::string& algo) {
-  sim::Simulator simulator;
-  net::Network network(simulator);
-  topo::DumbbellConfig cfg;
-  cfg.n_senders = 4;
-  cfg.priority_bands = algo == "homa" ? 8 : 0;
-  topo::Dumbbell topo(network, cfg);
-
-  cc::FlowParams params;
-  params.host_bw = cfg.host_bw;
-  params.base_rtt = topo.base_rtt();
-  params.expected_flows = 4;
-
-  const sim::TimePs bin = sim::microseconds(100);
-  std::vector<stats::ThroughputSeries> series(
-      4, stats::ThroughputSeries(0, bin));
-  topo.receiver().set_data_callback(
-      [&series](net::FlowId flow, std::int64_t bytes, sim::TimePs now) {
-        if (flow >= 1 && flow <= 4) {
-          series[static_cast<std::size_t>(flow - 1)].add_bytes(now, bytes);
-        }
-      });
-
-  const sim::TimePs epoch = sim::microseconds(800);
-  const std::array<std::int64_t, 4> sizes = {14'000'000, 10'000'000,
-                                             6'000'000, 2'500'000};
-  if (algo == "homa") {
-    host::HomaConfig hc;
-    hc.rtt_bytes = static_cast<std::int64_t>(params.bdp_bytes());
-    for (int i = 0; i < 4; ++i) topo.sender(i).enable_homa(hc);
-    topo.receiver().enable_homa(hc);
-    for (int i = 0; i < 4; ++i) {
-      host::Host& s = topo.sender(i);
-      const auto fid = static_cast<net::FlowId>(i + 1);
-      const std::int64_t size = sizes.at(static_cast<std::size_t>(i));
-      simulator.schedule_at(i * epoch, [&s, fid, size, &topo] {
-        s.homa()->send_message(fid, topo.receiver().id(), size);
-      });
-    }
-  } else {
-    const cc::CcFactory factory = cc::make_factory(algo);
-    for (int i = 0; i < 4; ++i) {
-      topo.sender(i).start_flow(static_cast<net::FlowId>(i + 1),
-                                topo.receiver().id(),
-                                sizes.at(static_cast<std::size_t>(i)),
-                                factory(params), params, i * epoch);
-    }
-  }
-
-  simulator.run_until(sim::milliseconds(8));
-
-  FlowSeries out;
-  for (std::size_t b = 0; b < series[0].bin_count(); b += 4) {
-    out.bin_start.push_back(series[0].bin_start(b));
-    for (std::size_t f = 0; f < 4; ++f) {
-      out.gbps[f].push_back(series[f].gbps(b));
-    }
-  }
-  return out;
-}
-
-harness::ResultTable to_table(const std::string& algo,
-                              const FlowSeries& fs) {
-  harness::ResultTable t;
-  t.title = algo + " (Gbps per flow)";
-  t.slug = "fig5_" + algo;
-  t.key_columns = {"time"};
-  t.value_columns = {"f1", "f2", "f3", "f4"};
-  for (std::size_t b = 0; b < fs.bin_start.size(); ++b) {
-    harness::ResultTable::Row row;
-    row.keys = {Cell(sim::format_time(fs.bin_start[b]))};
-    for (std::size_t f = 0; f < 4; ++f) {
-      row.values.push_back(Cell(fs.gbps[f][b], 1));
-    }
-    t.rows.push_back(std::move(row));
-  }
-  return t;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const auto opts = harness::BenchOptions::parse(argc, argv);
@@ -122,18 +27,11 @@ int main(int argc, char** argv) {
   }
   if (!opts.ok) return 2;
 
-  const std::vector<std::string> algos = {"powertcp", "homa",
-                                          "theta-powertcp", "timely"};
+  const harness::RunnerConfig rc = harness::fig5_runner_config();
   std::printf("Fig. 5: four staggered flows over a 25G bottleneck\n\n");
   harness::BenchReporter reporter("bench_fig5_fairness", opts);
-  std::vector<std::function<FlowSeries()>> jobs;
-  jobs.reserve(algos.size());
-  for (const auto& a : algos) {
-    jobs.push_back([a] { return run(a); });
-  }
-  const std::vector<FlowSeries> results = reporter.runner().map(jobs);
-  for (std::size_t i = 0; i < algos.size(); ++i) {
-    reporter.add(to_table(algos[i], results[i]));
+  for (auto& table : harness::run_config(rc, reporter.runner())) {
+    reporter.add(std::move(table));
   }
   return reporter.finish();
 }

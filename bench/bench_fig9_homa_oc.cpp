@@ -1,126 +1,38 @@
 /// Reproduces Figs. 9-11 (Appendix D): HOMA's behaviour across
 /// overcommitment levels 1-6.
-///   Fig. 9: fairness — four staggered messages over one bottleneck;
-///   Fig. 10/11: reaction to all-to-one and 10:1 incast (peak queue and
-///   recovery under each overcommitment level).
+///   Fig. 9: fairness — four staggered messages over one bottleneck,
+///   one time-series table per level;
+///   Fig. 10/11: reaction to all-to-one (55:1) and 10:1 incast — peak
+///   ToR queue, drops, and receiver goodput per level.
+///
+/// The scenario lives in harness/scenarios.* behind the `homa_oc`
+/// registry kind (shared with `powertcp_run configs/fig9_oc.toml`,
+/// which prints identical tables — pinned by
+/// RunnerGolden.Fig9ConfigMatchesBench). Every (level, fan-in) point
+/// is an independent simulation on the --threads=N pool; output is
+/// identical for every N.
 
 #include <cstdio>
-#include <vector>
 
-#include "host/homa.hpp"
-#include "net/network.hpp"
-#include "sim/simulator.hpp"
-#include "stats/timeseries.hpp"
-#include "topo/dumbbell.hpp"
-#include "topo/fat_tree.hpp"
+#include "harness/bench_opts.hpp"
+#include "harness/runner.hpp"
 
 using namespace powertcp;
 
-namespace {
-
-void fairness(int overcommit) {
-  sim::Simulator simulator;
-  net::Network network(simulator);
-  topo::DumbbellConfig cfg;
-  cfg.n_senders = 4;
-  cfg.priority_bands = 8;
-  topo::Dumbbell topo(network, cfg);
-
-  host::HomaConfig hc;
-  hc.rtt_bytes = cfg.host_bw.bdp_bytes(topo.base_rtt());
-  hc.overcommit = overcommit;
-  for (int i = 0; i < 4; ++i) topo.sender(i).enable_homa(hc);
-  topo.receiver().enable_homa(hc);
-
-  const sim::TimePs bin = sim::microseconds(100);
-  std::vector<stats::ThroughputSeries> series(
-      4, stats::ThroughputSeries(0, bin));
-  topo.receiver().set_data_callback(
-      [&series](net::FlowId flow, std::int64_t bytes, sim::TimePs now) {
-        if (flow >= 1 && flow <= 4) {
-          series[static_cast<std::size_t>(flow - 1)].add_bytes(now, bytes);
-        }
-      });
-
-  const sim::TimePs epoch = sim::microseconds(800);
-  const std::int64_t sizes[] = {14'000'000, 10'000'000, 6'000'000,
-                                2'500'000};
-  for (int i = 0; i < 4; ++i) {
-    host::Host& s = topo.sender(i);
-    const auto fid = static_cast<net::FlowId>(i + 1);
-    const std::int64_t size = sizes[i];
-    simulator.schedule_at(i * epoch, [&s, fid, size, &topo] {
-      s.homa()->send_message(fid, topo.receiver().id(), size);
-    });
+int main(int argc, char** argv) {
+  const auto opts = harness::BenchOptions::parse(argc, argv);
+  if (opts.help) {
+    std::fputs(harness::BenchOptions::usage("bench_fig9_homa_oc").c_str(),
+               stdout);
+    return 0;
   }
-  simulator.run_until(sim::milliseconds(8));
+  if (!opts.ok) return 2;
 
-  std::printf("\n--- Fig. 9, overcommitment %d ---\n", overcommit);
-  std::printf("%10s %8s %8s %8s %8s\n", "time", "f1", "f2", "f3", "f4");
-  for (std::size_t b = 0; b < series[0].bin_count(); b += 8) {
-    std::printf("%10s", sim::format_time(series[0].bin_start(b)).c_str());
-    for (const auto& s : series) std::printf(" %8.1f", s.gbps(b));
-    std::printf("\n");
+  const harness::RunnerConfig rc = harness::fig9_runner_config();
+  std::printf("Figs. 9-11: HOMA across overcommitment levels 1-6\n\n");
+  harness::BenchReporter reporter("bench_fig9_homa_oc", opts);
+  for (auto& table : harness::run_config(rc, reporter.runner())) {
+    reporter.add(std::move(table));
   }
-}
-
-void incast(int overcommit, int fan_in) {
-  sim::Simulator simulator;
-  net::Network network(simulator);
-  topo::FatTreeConfig cfg = topo::FatTreeConfig::quick();
-  cfg.priority_bands = 8;
-  topo::FatTree fabric(network, cfg);
-
-  host::HomaConfig hc;
-  hc.rtt_bytes = cfg.host_bw.bdp_bytes(fabric.max_base_rtt());
-  hc.overcommit = overcommit;
-  for (int h = 0; h < fabric.host_count(); ++h) fabric.host(h).enable_homa(hc);
-
-  const int receiver = 0;
-  stats::QueueSeries queue;
-  fabric.tor(0).port(fabric.tor_down_port(receiver)).set_queue_monitor(&queue);
-  stats::ThroughputSeries goodput(0, sim::microseconds(100));
-  fabric.host(receiver).set_data_callback(
-      [&goodput](net::FlowId, std::int64_t bytes, sim::TimePs now) {
-        goodput.add_bytes(now, bytes);
-      });
-
-  // Long message from the far pod plus the synchronized burst.
-  host::Host& ls = fabric.host(fabric.host_count() - 1);
-  simulator.schedule_at(0, [&ls, &fabric] {
-    ls.homa()->send_message(1, fabric.host_node(0), 200'000'000);
-  });
-  const sim::TimePs burst_at = sim::microseconds(500);
-  for (int i = 0; i < fan_in; ++i) {
-    const int responder =
-        cfg.servers_per_tor +
-        i % (fabric.host_count() - cfg.servers_per_tor - 1);
-    host::Host& h = fabric.host(responder);
-    const auto fid = static_cast<net::FlowId>(100 + i);
-    simulator.schedule_at(burst_at, [&h, fid, &fabric] {
-      h.homa()->send_message(fid, fabric.host_node(0), 100'000);
-    });
-  }
-  simulator.run_until(sim::milliseconds(3));
-
-  std::printf("  oc=%d: peak queue %8.1f KB, drops %6llu, mean goodput "
-              "%5.1f Gbps\n",
-              overcommit, static_cast<double>(queue.max_bytes()) / 1e3,
-              static_cast<unsigned long long>(fabric.total_drops()),
-              goodput.mean_gbps(0, goodput.bin_count()));
-}
-
-}  // namespace
-
-int main() {
-  std::printf("=== Fig. 9: HOMA fairness across overcommitment levels ===\n");
-  for (int oc = 1; oc <= 6; ++oc) fairness(oc);
-
-  std::printf("\n=== Fig. 11: HOMA 10:1 incast across overcommitment ===\n");
-  for (int oc = 1; oc <= 6; ++oc) incast(oc, 10);
-
-  std::printf("\n=== Fig. 10: HOMA all-to-one incast across "
-              "overcommitment ===\n");
-  for (int oc = 1; oc <= 6; ++oc) incast(oc, 55);
-  return 0;
+  return reporter.finish();
 }

@@ -3,14 +3,19 @@
 /// bottleneck. Compares how each congestion controller absorbs the
 /// burst: peak queue, drops, time back to near-zero queueing, and the
 /// long flow's throughput sacrifice.
+///
+/// Every scheme — the receiver-driven HOMA transport included — is
+/// resolved through cc::Registry: its entry supplies the fabric needs
+/// (ECN profile, priority bands), the flow factory, or the
+/// message-transport flag, so no algorithm is special-cased here.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "cc/factory.hpp"
-#include "harness/experiment.hpp"
+#include "cc/registry.hpp"
 #include "host/flow.hpp"
+#include "host/homa.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 #include "stats/percentiles.hpp"
@@ -30,17 +35,19 @@ struct Outcome {
 };
 
 Outcome run(const std::string& cc_name, int fan_in) {
+  const cc::Scheme& scheme = cc::Registry::instance().at(cc_name);
+
   sim::Simulator simulator;
   net::Network network(simulator);
   topo::FatTreeConfig cfg = topo::FatTreeConfig::quick();
-  cfg.ecn = harness::ecn_profile_for(cc_name);
+  cfg.ecn = scheme.needs.ecn;
+  cfg.priority_bands = scheme.needs.priority_bands;
   topo::FatTree fabric(network, cfg);
 
   cc::FlowParams params;
   params.host_bw = cfg.host_bw;
   params.base_rtt = fabric.max_base_rtt();
   params.expected_flows = 8;
-  const cc::CcFactory factory = cc::make_factory(cc_name);
 
   // Receiver: host 0. Long-flow sender: last host (different pod).
   const int receiver = 0;
@@ -50,9 +57,6 @@ Outcome run(const std::string& cc_name, int fan_in) {
       [&](net::FlowId flow, std::int64_t bytes, sim::TimePs now) {
         if (flow == 1) long_goodput.add_bytes(now, bytes);
       });
-  fabric.host(long_sender)
-      .start_flow(1, fabric.host_node(receiver), 1'000'000'000,
-                  factory(params), params, 0);
 
   // The receiver's ToR downlink is the bottleneck; watch its queue.
   stats::QueueSeries queue;
@@ -60,16 +64,60 @@ Outcome run(const std::string& cc_name, int fan_in) {
 
   // Burst at t = 300us: fan_in responders in other racks, 50KB each.
   const sim::TimePs burst_at = sim::microseconds(300);
+  const std::int64_t long_bytes = 1'000'000'000;
+  const std::int64_t burst_bytes = 50'000;
   stats::Samples burst_fcts;
-  for (int i = 0; i < fan_in; ++i) {
-    const int responder =
-        cfg.servers_per_tor + i % (fabric.host_count() - cfg.servers_per_tor);
-    fabric.host(responder).start_flow(
-        static_cast<net::FlowId>(100 + i), fabric.host_node(receiver),
-        50'000, factory(params), params, burst_at,
-        [&burst_fcts](const host::FlowCompletion& c) {
-          burst_fcts.add(sim::to_microseconds(c.finish - c.start));
+  // Responders rotate over hosts outside the receiver's rack,
+  // excluding the long-flow sender (last host) so a huge fan-in never
+  // contends with the long flow's own uplink.
+  const auto responder_of = [&](int i) {
+    return cfg.servers_per_tor +
+           i % (fabric.host_count() - cfg.servers_per_tor - 1);
+  };
+
+  if (scheme.message_transport) {
+    const host::HomaConfig hc =
+        host::homa_config_from_params(cc::ParamMap{}, params);
+    for (int h = 0; h < fabric.host_count(); ++h) {
+      fabric.host(h).enable_homa(hc);
+    }
+    fabric.host(receiver).homa()->set_message_callback(
+        [&burst_fcts](const host::MessageCompletion& c) {
+          if (c.message >= 100) {
+            burst_fcts.add(sim::to_microseconds(c.finish - c.start));
+          }
         });
+    host::Host& ls = fabric.host(long_sender);
+    simulator.schedule_at(0, [&ls, &fabric, receiver, long_bytes] {
+      ls.homa()->send_message(1, fabric.host_node(receiver), long_bytes);
+    });
+    for (int i = 0; i < fan_in; ++i) {
+      host::Host& h = fabric.host(responder_of(i));
+      const auto fid = static_cast<net::FlowId>(100 + i);
+      simulator.schedule_at(burst_at, [&h, fid, &fabric, receiver,
+                                       burst_bytes] {
+        h.homa()->send_message(fid, fabric.host_node(receiver), burst_bytes);
+      });
+    }
+  } else {
+    const cc::FlowCcFactory factory =
+        scheme.make(cc::ParamMap{}, cc::SchemeTopology{});
+    const auto endpoints = [&](int src_host) {
+      return cc::FlowEndpoints{fabric.tor_of_host(src_host),
+                               fabric.tor_of_host(receiver)};
+    };
+    fabric.host(long_sender)
+        .start_flow(1, fabric.host_node(receiver), long_bytes,
+                    factory(params, endpoints(long_sender)), params, 0);
+    for (int i = 0; i < fan_in; ++i) {
+      const int responder = responder_of(i);
+      fabric.host(responder).start_flow(
+          static_cast<net::FlowId>(100 + i), fabric.host_node(receiver),
+          burst_bytes, factory(params, endpoints(responder)), params,
+          burst_at, [&burst_fcts](const host::FlowCompletion& c) {
+            burst_fcts.add(sim::to_microseconds(c.finish - c.start));
+          });
+    }
   }
 
   simulator.run_until(sim::milliseconds(3));
@@ -98,7 +146,8 @@ Outcome run(const std::string& cc_name, int fan_in) {
 int main() {
   const std::vector<std::string> algos = {"powertcp", "theta-powertcp",
                                           "hpcc",     "timely",
-                                          "dcqcn",    "dctcp"};
+                                          "dcqcn",    "dctcp",
+                                          "homa"};
   std::printf("Incast fan-in against a long flow (quick fat-tree)\n\n");
   for (const int fan_in : {10, 40}) {
     std::printf("== %d:1 incast ==\n", fan_in);

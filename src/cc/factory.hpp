@@ -1,30 +1,10 @@
 #pragma once
 
-#include <string>
-#include <vector>
-
-#include "cc/cc_algorithm.hpp"
-
 /// \file factory.hpp
-/// Name-based construction of congestion control algorithms with their
-/// default (paper §4.1) configurations. A thin compatibility layer over
-/// cc::Registry (registry.hpp), which additionally exposes per-scheme
-/// tunables and topology needs.
+/// Compatibility shim: `make_factory(name)` and `sender_cc_names()`
+/// live in the scheme registry (registry.hpp) now — the registry
+/// additionally exposes per-scheme tunables and topology needs.
+/// Existing includes keep working; new code should include
+/// "cc/registry.hpp" directly.
 
-namespace powertcp::cc {
-
-/// Supported names: every non-message-transport registry entry —
-/// "powertcp", "powertcp-rtt" (per-RTT update mode), "theta-powertcp",
-/// "hpcc", "hpcc-rtt", "dcqcn", "timely", "dctcp", "swift", "newreno",
-/// "cubic". Throws std::invalid_argument for unknown names, for
-/// "retcp" (which needs the CircuitSchedule a SchemeTopology carries —
-/// use Registry::at("retcp").make), and for "homa" (a receiver-driven
-/// transport enabled via host::Host::enable_homa).
-CcFactory make_factory(const std::string& name);
-
-/// Canonical algorithm names, one per scheme — excludes the "-rtt"
-/// update-mode variants, the message transport, and circuit-bound
-/// schemes, so benches iterating this list compare each scheme once.
-const std::vector<std::string>& sender_cc_names();
-
-}  // namespace powertcp::cc
+#include "cc/registry.hpp"

@@ -268,4 +268,32 @@ std::vector<std::string> Registry::names() const {
   return out;
 }
 
+CcFactory make_factory(const std::string& name) {
+  const Scheme& scheme = Registry::instance().at(name);
+  if (scheme.message_transport) {
+    throw std::invalid_argument(
+        "make_factory: '" + name +
+        "' is a receiver-driven message transport, not a sender CC "
+        "algorithm — enable it via host::Host::enable_homa");
+  }
+  // Default parameters and an empty topology; schemes with topology
+  // needs (reTCP) throw here with a pointer at the registry.
+  FlowCcFactory factory = scheme.make(ParamMap{}, SchemeTopology{});
+  return [factory](const FlowParams& p) { return factory(p, FlowEndpoints{}); };
+}
+
+const std::vector<std::string>& sender_cc_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const Scheme& s : Registry::instance().schemes()) {
+      if (s.message_transport || s.rtt_variant || s.needs.circuit_schedule) {
+        continue;
+      }
+      names.push_back(s.name);
+    }
+    return names;
+  }();
+  return kNames;
+}
+
 }  // namespace powertcp::cc

@@ -79,6 +79,19 @@ struct Scheme {
   std::function<void(const FlowParams&, ParamMap&)> experiment_defaults;
 };
 
+/// Name-based construction with default (paper §4.1) parameters and an
+/// empty topology — the historical `factory.hpp` entry point, now a
+/// thin wrapper over the registry. Throws std::invalid_argument for
+/// unknown names, for message transports ("homa" is enabled via
+/// host::Host::enable_homa), and for schemes with topology needs
+/// ("retcp" needs the CircuitSchedule a SchemeTopology carries).
+CcFactory make_factory(const std::string& name);
+
+/// Canonical algorithm names, one per scheme — excludes the "-rtt"
+/// update-mode variants, the message transport, and circuit-bound
+/// schemes, so benches iterating this list compare each scheme once.
+const std::vector<std::string>& sender_cc_names();
+
 class Registry {
  public:
   /// The process-wide table, built once (thread-safe magic static).

@@ -1,6 +1,8 @@
 #include "harness/runner.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <set>
 #include <stdexcept>
 
@@ -10,15 +12,6 @@
 namespace powertcp::harness {
 
 namespace {
-
-RunnerConfig::Kind parse_kind(const std::string& kind,
-                              const ConfigFile& file) {
-  if (kind == "fat_tree") return RunnerConfig::Kind::kFatTree;
-  if (kind == "incast") return RunnerConfig::Kind::kIncast;
-  if (kind == "rdcn") return RunnerConfig::Kind::kRdcn;
-  throw ConfigError(file.origin() + ": [experiment] kind = '" + kind +
-                    "' is not one of fat_tree, incast, rdcn");
-}
 
 /// Resolves one `schemes = ...` entry: its optional [cc.<label>]
 /// section supplies params and may alias a registered scheme via
@@ -113,143 +106,350 @@ sim::TimePs get_us(SectionView& v, const std::string& key,
   return sim::from_seconds(v.get_double(key, 0) * 1e-6);
 }
 
+/// A `key = v1, v2` list of small positive integers (overcommit
+/// levels, fan-ins); absent keys keep `fallback`.
+std::vector<int> get_int_list(SectionView& v, const std::string& key,
+                              std::vector<int> fallback,
+                              const ConfigFile& file) {
+  const std::vector<double> raw = v.get_double_list(key, {});
+  if (raw.empty()) return fallback;
+  std::vector<int> out;
+  out.reserve(raw.size());
+  for (const double x : raw) {
+    // Range-check before the cast: int-casting an unrepresentable
+    // double is undefined behavior, not a detectable error.
+    if (x < 1 || x > std::numeric_limits<int>::max() || std::floor(x) != x) {
+      throw ConfigError(file.origin() + ": [workload] " + key +
+                        " entries must be integers >= 1");
+    }
+    out.push_back(static_cast<int>(x));
+  }
+  return out;
+}
+
+// ---- per-kind loaders ---------------------------------------------
+// Each owns its [topology]/[workload] schema; the shared SectionView
+// consumption tracking turns any unread key into a file:line error.
+
+std::unique_ptr<ScenarioConfig> load_fat_tree_kind(const ConfigFile& file,
+                                                   SectionView& topo,
+                                                   SectionView& work,
+                                                   const ScenarioContext& ctx) {
+  auto sc = std::make_unique<FatTreeKindConfig>();
+  sc->schemes = ctx.schemes;
+  sc->slug_prefix = ctx.slug_prefix;
+  sc->percentile = ctx.percentile;
+  sc->fat_tree.sim_queue = ctx.sim_queue;
+  sc->fat_tree.seed = ctx.seed;
+  load_fat_tree_topology(topo, &sc->fat_tree.topo, file);
+  sc->loads = work.get_double_list("loads", sc->loads);
+  if (sc->loads.empty()) {
+    throw ConfigError(file.origin() +
+                      ": [workload] point lists must be non-empty");
+  }
+  sc->fat_tree.duration = get_ms(work, "duration_ms", sc->fat_tree.duration);
+  sc->fat_tree.size_scale =
+      work.get_double("size_scale", sc->fat_tree.size_scale);
+  sc->fat_tree.expected_flows = static_cast<int>(
+      work.get_int("expected_flows", sc->fat_tree.expected_flows));
+  sc->fat_tree.incast = work.get_bool("incast", sc->fat_tree.incast);
+  sc->fat_tree.incast_requests_per_sec = work.get_double(
+      "incast_requests_per_sec", sc->fat_tree.incast_requests_per_sec);
+  sc->fat_tree.incast_request_bytes = static_cast<std::int64_t>(
+      work.get_double(
+          "incast_request_kb",
+          static_cast<double>(sc->fat_tree.incast_request_bytes) / 1e3) *
+      1e3);
+  sc->fat_tree.incast_fan_in = static_cast<int>(
+      work.get_int("incast_fan_in", sc->fat_tree.incast_fan_in));
+  return sc;
+}
+
+std::unique_ptr<ScenarioConfig> load_incast_kind(const ConfigFile& file,
+                                                 SectionView& topo,
+                                                 SectionView& work,
+                                                 const ScenarioContext& ctx) {
+  auto sc = std::make_unique<IncastKindConfig>();
+  sc->schemes = ctx.schemes;
+  sc->slug_prefix = ctx.slug_prefix;
+  sc->incast.sim_queue = ctx.sim_queue;
+  load_fat_tree_topology(topo, &sc->incast.topo, file);
+  sc->query_kb = work.get_double_list("query_kb", sc->query_kb);
+  sc->fan_in = work.get_double_list("fan_in", sc->fan_in);
+  if (sc->query_kb.empty() || sc->fan_in.empty()) {
+    throw ConfigError(file.origin() +
+                      ": [workload] point lists must be non-empty");
+  }
+  if (sc->fan_in.size() != sc->query_kb.size() && sc->fan_in.size() != 1) {
+    throw ConfigError(file.origin() +
+                      ": [workload] fan_in must list one value or one "
+                      "per query_kb entry");
+  }
+  for (const double fan : sc->fan_in) {
+    // 0 is legal (companions-only table), fractions are not: the run
+    // would silently truncate to a point the config does not state.
+    if (fan < 0 || fan > std::numeric_limits<int>::max() ||
+        std::floor(fan) != fan) {
+      throw ConfigError(file.origin() +
+                        ": [workload] fan_in entries must be integers >= 0");
+    }
+  }
+  for (std::size_t i = 0; i < sc->query_kb.size(); ++i) {
+    const double fan = sc->fan_in[sc->fan_in.size() == 1 ? 0 : i];
+    if (sc->query_kb[i] > 0 && fan < 1) {
+      throw ConfigError(file.origin() +
+                        ": [workload] query_kb > 0 needs fan_in >= 1 "
+                        "(the query is split across the fan-in)");
+    }
+  }
+  sc->incast.long_flow_bytes = static_cast<std::int64_t>(
+      work.get_double("long_flow_mb",
+                      static_cast<double>(sc->incast.long_flow_bytes) / 1e6) *
+      1e6);
+  sc->incast.long_companions = static_cast<int>(
+      work.get_int("long_companions", sc->incast.long_companions));
+  sc->incast.burst_at = get_us(work, "burst_at_us", sc->incast.burst_at);
+  sc->incast.horizon = get_ms(work, "horizon_ms", sc->incast.horizon);
+  sc->incast.bin = get_us(work, "bin_us", sc->incast.bin);
+  sc->incast.expected_flows = static_cast<int>(
+      work.get_int("expected_flows", sc->incast.expected_flows));
+  return sc;
+}
+
+std::unique_ptr<ScenarioConfig> load_rdcn_kind(const ConfigFile& file,
+                                               SectionView& topo,
+                                               SectionView& work,
+                                               const ScenarioContext& ctx) {
+  auto sc = std::make_unique<RdcnKindConfig>();
+  sc->schemes = ctx.schemes;
+  sc->slug_prefix = ctx.slug_prefix;
+  sc->rdcn.sim_queue = ctx.sim_queue;
+  const std::string preset = topo.get_string("preset", "paper");
+  if (preset == "small") {
+    sc->rdcn.topo = topo::RdcnConfig::small();
+  } else if (preset == "paper") {
+    sc->rdcn.topo = topo::RdcnConfig();
+  } else {
+    throw ConfigError(file.origin() + ": [topology] preset = '" + preset +
+                      "' is not one of small, paper");
+  }
+  sc->rdcn.topo.n_tors =
+      static_cast<int>(topo.get_int("n_tors", sc->rdcn.topo.n_tors));
+  sc->rdcn.topo.servers_per_tor = static_cast<int>(
+      topo.get_int("servers_per_tor", sc->rdcn.topo.servers_per_tor));
+  if (topo.has("host_gbps")) {
+    sc->rdcn.topo.host_bw =
+        sim::Bandwidth::gbps(topo.get_double("host_gbps", 0));
+  }
+  if (topo.has("circuit_gbps")) {
+    sc->rdcn.topo.circuit_bw =
+        sim::Bandwidth::gbps(topo.get_double("circuit_gbps", 0));
+  }
+  sc->rdcn.topo.day = get_us(topo, "day_us", sc->rdcn.topo.day);
+  sc->rdcn.topo.night = get_us(topo, "night_us", sc->rdcn.topo.night);
+  sc->packet_gbps = work.get_double_list("packet_gbps", sc->packet_gbps);
+  if (sc->packet_gbps.empty()) {
+    throw ConfigError(file.origin() +
+                      ": [workload] point lists must be non-empty");
+  }
+  sc->rdcn.flow_bytes = static_cast<std::int64_t>(
+      work.get_double("flow_mb",
+                      static_cast<double>(sc->rdcn.flow_bytes) / 1e6) *
+      1e6);
+  sc->rdcn.horizon = get_ms(work, "horizon_ms", sc->rdcn.horizon);
+  sc->rdcn.bin = get_us(work, "bin_us", sc->rdcn.bin);
+  sc->rdcn.expected_flows = static_cast<int>(
+      work.get_int("expected_flows", sc->rdcn.expected_flows));
+  return sc;
+}
+
+/// Scales a size value (MB/KB key) to bytes. Rejects NaN/inf,
+/// non-positive values, and sizes past int64 range — casting an
+/// unrepresentable double is undefined behavior, not an error path.
+std::int64_t size_to_bytes(double value, double scale,
+                           const std::string& key, const ConfigFile& file) {
+  constexpr double kMaxBytes = 9.0e18;  // just under int64 max
+  if (!std::isfinite(value) || value <= 0 || value * scale > kMaxBytes) {
+    throw ConfigError(file.origin() + ": [workload] " + key +
+                      " must be a positive in-range size");
+  }
+  return static_cast<std::int64_t>(value * scale);
+}
+
+/// Reads a `flow_mb = 14, 10, 6, 2.5` list into per-flow byte sizes;
+/// absent keys keep the scenario's defaults.
+void load_flow_mb(SectionView& work, std::vector<std::int64_t>* flow_bytes,
+                  const ConfigFile& file) {
+  const std::vector<double> mb = work.get_double_list("flow_mb", {});
+  if (mb.empty()) return;
+  flow_bytes->clear();
+  for (const double m : mb) {
+    flow_bytes->push_back(size_to_bytes(m, 1e6, "flow_mb", file));
+  }
+}
+
+std::unique_ptr<ScenarioConfig> load_dumbbell_kind(const ConfigFile& file,
+                                                   SectionView& topo,
+                                                   SectionView& work,
+                                                   const ScenarioContext& ctx) {
+  auto sc = std::make_unique<DumbbellKindConfig>();
+  sc->schemes = ctx.schemes;
+  sc->slug_prefix = ctx.slug_prefix;
+  DumbbellScenario& d = sc->dumbbell;
+  d.sim_queue = ctx.sim_queue;
+  if (topo.has("host_gbps")) {
+    d.topo.host_bw = sim::Bandwidth::gbps(topo.get_double("host_gbps", 0));
+  }
+  if (topo.has("bottleneck_gbps")) {
+    d.topo.bottleneck_bw =
+        sim::Bandwidth::gbps(topo.get_double("bottleneck_gbps", 0));
+  }
+  d.topo.link_delay = get_us(topo, "link_delay_us", d.topo.link_delay);
+  d.topo.dt_alpha = topo.get_double("dt_alpha", d.topo.dt_alpha);
+  if (topo.has("buffer_kb")) {
+    d.topo.buffer_bytes =
+        static_cast<std::int64_t>(topo.get_double("buffer_kb", 0) * 1e3);
+  }
+  load_flow_mb(work, &d.flow_bytes, file);
+  d.stagger = get_us(work, "stagger_us", d.stagger);
+  d.horizon = get_ms(work, "horizon_ms", d.horizon);
+  d.bin = get_us(work, "bin_us", d.bin);
+  d.row_stride = static_cast<int>(work.get_int("row_every", d.row_stride));
+  if (d.row_stride < 1) {
+    throw ConfigError(file.origin() + ": [workload] row_every must be >= 1");
+  }
+  return sc;
+}
+
+std::unique_ptr<ScenarioConfig> load_homa_oc_kind(const ConfigFile& file,
+                                                  SectionView& topo,
+                                                  SectionView& work,
+                                                  const ScenarioContext& ctx) {
+  auto sc = std::make_unique<HomaOcKindConfig>();
+  sc->schemes = ctx.schemes;
+  sc->slug_prefix = ctx.slug_prefix;
+  HomaOcScenario& h = sc->homa_oc;
+  h.sim_queue = ctx.sim_queue;
+  load_fat_tree_topology(topo, &h.incast_topo, file);
+  h.overcommit = get_int_list(work, "overcommit", h.overcommit, file);
+  h.fan_in = get_int_list(work, "fan_in", h.fan_in, file);
+  load_flow_mb(work, &h.fairness.flow_bytes, file);
+  h.fairness.stagger = get_us(work, "stagger_us", h.fairness.stagger);
+  h.fairness.horizon =
+      get_ms(work, "fairness_horizon_ms", h.fairness.horizon);
+  h.fairness.bin = get_us(work, "fairness_bin_us", h.fairness.bin);
+  h.fairness.row_stride = static_cast<int>(
+      work.get_int("fairness_row_every", h.fairness.row_stride));
+  if (h.fairness.row_stride < 1) {
+    throw ConfigError(file.origin() +
+                      ": [workload] fairness_row_every must be >= 1");
+  }
+  h.long_message_bytes = size_to_bytes(
+      work.get_double("long_message_mb",
+                      static_cast<double>(h.long_message_bytes) / 1e6),
+      1e6, "long_message_mb", file);
+  h.burst_message_bytes = size_to_bytes(
+      work.get_double("burst_kb",
+                      static_cast<double>(h.burst_message_bytes) / 1e3),
+      1e3, "burst_kb", file);
+  h.burst_at = get_us(work, "burst_at_us", h.burst_at);
+  h.incast_horizon = get_ms(work, "incast_horizon_ms", h.incast_horizon);
+  h.incast_bin = get_us(work, "incast_bin_us", h.incast_bin);
+  return sc;
+}
+
 }  // namespace
 
-RunnerConfig load_runner_config(const ConfigFile& file) {
+void register_builtin_scenarios(ScenarioRegistry& registry) {
+  registry.add(
+      {"fat_tree",
+       "Fig. 6/7 FCT sweep: websearch fat-tree, tail slowdown per size "
+       "bucket, one table per load",
+       "preset (quick|paper), pods, tors_per_pod, aggs_per_pod, cores, "
+       "servers_per_tor, host_gbps, fabric_gbps, buffer_bytes_per_gbps, "
+       "dt_alpha",
+       "loads, duration_ms, size_scale, expected_flows, incast, "
+       "incast_requests_per_sec, incast_request_kb, incast_fan_in",
+       load_fat_tree_kind});
+  registry.add(
+      {"incast",
+       "Fig. 4 reaction to incast: long flow + N:1 burst on one downlink, "
+       "goodput/queue time series per scheme",
+       "preset (quick|paper) + fat-tree overrides (see fat_tree)",
+       "query_kb, fan_in, long_flow_mb, long_companions, burst_at_us, "
+       "horizon_ms, bin_us, expected_flows",
+       load_incast_kind});
+  registry.add(
+      {"rdcn",
+       "Fig. 8 reconfigurable-DCN case study: rack-to-rack series over the "
+       "rotor schedule plus p99 ToR latency vs packet bandwidth",
+       "preset (small|paper), n_tors, servers_per_tor, host_gbps, "
+       "circuit_gbps, day_us, night_us",
+       "packet_gbps, flow_mb, horizon_ms, bin_us, expected_flows",
+       load_rdcn_kind});
+  registry.add(
+      {"dumbbell",
+       "Fig. 5 fairness/stability: staggered flows over one bottleneck, "
+       "per-flow goodput series, one table per scheme",
+       "host_gbps, bottleneck_gbps, link_delay_us, dt_alpha, buffer_kb",
+       "flow_mb, stagger_us, horizon_ms, bin_us, row_every",
+       load_dumbbell_kind});
+  registry.add(
+      {"homa_oc",
+       "Figs. 9-11 overcommitment sweep: message-transport fairness per "
+       "level plus N:1 incast reaction summaries",
+       "preset (quick|paper) + fat-tree overrides for the incast panel",
+       "overcommit, fan_in, flow_mb, stagger_us, fairness_horizon_ms, "
+       "fairness_bin_us, fairness_row_every, long_message_mb, burst_kb, "
+       "burst_at_us, incast_horizon_ms, incast_bin_us",
+       load_homa_oc_kind});
+}
+
+RunnerConfig load_runner_config(const ConfigFile& file,
+                                const ScenarioRegistry& registry) {
   const ConfigFile::Section* exp_sec = file.find("experiment");
   if (exp_sec == nullptr) {
     throw ConfigError(file.origin() + ": missing [experiment] section");
   }
-  RunnerConfig rc;
   SectionView exp(file, exp_sec);
-  rc.kind = parse_kind(exp.get_string("kind", "fat_tree"), file);
-  rc.slug_prefix = exp.get_string("slug", rc.slug_prefix);
+  const std::string kind = exp.get_string("kind", "fat_tree");
+  const ScenarioEntry* entry = registry.find(kind);
+  if (entry == nullptr) {
+    throw ConfigError(file.origin() + ": [experiment] kind = '" + kind +
+                      "' is not one of " + registry.joined_names());
+  }
+
+  ScenarioContext ctx;
+  ctx.slug_prefix = exp.get_string("slug", ctx.slug_prefix);
   const std::vector<std::string> scheme_names = exp.get_list("schemes");
   if (scheme_names.empty()) {
     throw ConfigError(file.origin() +
                       ": [experiment] needs a non-empty `schemes` list");
   }
-  const auto seed = static_cast<std::uint64_t>(exp.get_int("seed", 1));
-  rc.percentile = exp.get_double("percentile", rc.percentile);
+  ctx.seed = static_cast<std::uint64_t>(exp.get_int("seed", 1));
+  ctx.percentile = exp.get_double("percentile", ctx.percentile);
   const std::string queue = exp.get_string("sim_queue", "heap");
-  sim::QueueKind sim_queue;
   if (queue == "heap") {
-    sim_queue = sim::QueueKind::kBinaryHeap;
+    ctx.sim_queue = sim::QueueKind::kBinaryHeap;
   } else if (queue == "calendar") {
-    sim_queue = sim::QueueKind::kCalendar;
+    ctx.sim_queue = sim::QueueKind::kCalendar;
   } else {
     throw ConfigError(file.origin() + ": [experiment] sim_queue = '" + queue +
                       "' is not one of heap, calendar");
   }
-  rc.fat_tree.sim_queue = sim_queue;
-  rc.incast.sim_queue = sim_queue;
-  rc.rdcn.sim_queue = sim_queue;
   exp.finish();
 
   for (const auto& name : scheme_names) {
-    rc.schemes.push_back(resolve_scheme(file, name));
+    ctx.schemes.push_back(resolve_scheme(file, name));
   }
 
   SectionView topo(file, file.find("topology"));
   SectionView work(file, file.find("workload"));
-  switch (rc.kind) {
-    case RunnerConfig::Kind::kFatTree: {
-      load_fat_tree_topology(topo, &rc.fat_tree.topo, file);
-      rc.fat_tree.seed = seed;
-      rc.loads = work.get_double_list("loads", rc.loads);
-      rc.fat_tree.duration = get_ms(work, "duration_ms", rc.fat_tree.duration);
-      rc.fat_tree.size_scale =
-          work.get_double("size_scale", rc.fat_tree.size_scale);
-      rc.fat_tree.expected_flows = static_cast<int>(
-          work.get_int("expected_flows", rc.fat_tree.expected_flows));
-      rc.fat_tree.incast = work.get_bool("incast", rc.fat_tree.incast);
-      rc.fat_tree.incast_requests_per_sec = work.get_double(
-          "incast_requests_per_sec", rc.fat_tree.incast_requests_per_sec);
-      rc.fat_tree.incast_request_bytes = static_cast<std::int64_t>(
-          work.get_double("incast_request_kb",
-                          static_cast<double>(
-                              rc.fat_tree.incast_request_bytes) /
-                              1e3) *
-          1e3);
-      rc.fat_tree.incast_fan_in = static_cast<int>(
-          work.get_int("incast_fan_in", rc.fat_tree.incast_fan_in));
-      break;
-    }
-    case RunnerConfig::Kind::kIncast: {
-      load_fat_tree_topology(topo, &rc.incast.topo, file);
-      rc.query_kb = work.get_double_list("query_kb", rc.query_kb);
-      rc.fan_in = work.get_double_list("fan_in", rc.fan_in);
-      if (rc.fan_in.size() != rc.query_kb.size() && rc.fan_in.size() != 1) {
-        throw ConfigError(file.origin() +
-                          ": [workload] fan_in must list one value or one "
-                          "per query_kb entry");
-      }
-      for (std::size_t i = 0; i < rc.query_kb.size(); ++i) {
-        const double fan =
-            rc.fan_in[rc.fan_in.size() == 1 ? 0 : i];
-        if (rc.query_kb[i] > 0 && fan < 1) {
-          throw ConfigError(file.origin() +
-                            ": [workload] query_kb > 0 needs fan_in >= 1 "
-                            "(the query is split across the fan-in)");
-        }
-      }
-      rc.incast.long_flow_bytes = static_cast<std::int64_t>(
-          work.get_double("long_flow_mb",
-                          static_cast<double>(rc.incast.long_flow_bytes) /
-                              1e6) *
-          1e6);
-      rc.incast.long_companions = static_cast<int>(
-          work.get_int("long_companions", rc.incast.long_companions));
-      rc.incast.burst_at = get_us(work, "burst_at_us", rc.incast.burst_at);
-      rc.incast.horizon = get_ms(work, "horizon_ms", rc.incast.horizon);
-      rc.incast.bin = get_us(work, "bin_us", rc.incast.bin);
-      rc.incast.expected_flows = static_cast<int>(
-          work.get_int("expected_flows", rc.incast.expected_flows));
-      break;
-    }
-    case RunnerConfig::Kind::kRdcn: {
-      const std::string preset = topo.get_string("preset", "paper");
-      if (preset == "small") {
-        rc.rdcn.topo = topo::RdcnConfig::small();
-      } else if (preset == "paper") {
-        rc.rdcn.topo = topo::RdcnConfig();
-      } else {
-        throw ConfigError(file.origin() + ": [topology] preset = '" + preset +
-                          "' is not one of small, paper");
-      }
-      rc.rdcn.topo.n_tors =
-          static_cast<int>(topo.get_int("n_tors", rc.rdcn.topo.n_tors));
-      rc.rdcn.topo.servers_per_tor = static_cast<int>(
-          topo.get_int("servers_per_tor", rc.rdcn.topo.servers_per_tor));
-      if (topo.has("host_gbps")) {
-        rc.rdcn.topo.host_bw =
-            sim::Bandwidth::gbps(topo.get_double("host_gbps", 0));
-      }
-      if (topo.has("circuit_gbps")) {
-        rc.rdcn.topo.circuit_bw =
-            sim::Bandwidth::gbps(topo.get_double("circuit_gbps", 0));
-      }
-      rc.rdcn.topo.day = get_us(topo, "day_us", rc.rdcn.topo.day);
-      rc.rdcn.topo.night = get_us(topo, "night_us", rc.rdcn.topo.night);
-      rc.packet_gbps = work.get_double_list("packet_gbps", rc.packet_gbps);
-      rc.rdcn.flow_bytes = static_cast<std::int64_t>(
-          work.get_double("flow_mb",
-                          static_cast<double>(rc.rdcn.flow_bytes) / 1e6) *
-          1e6);
-      rc.rdcn.horizon = get_ms(work, "horizon_ms", rc.rdcn.horizon);
-      rc.rdcn.bin = get_us(work, "bin_us", rc.rdcn.bin);
-      rc.rdcn.expected_flows = static_cast<int>(
-          work.get_int("expected_flows", rc.rdcn.expected_flows));
-      break;
-    }
-  }
+  RunnerConfig rc;
+  rc.kind = kind;
+  rc.scenario = entry->load(file, topo, work, ctx);
   topo.finish();
   work.finish();
-  if (rc.loads.empty() || rc.query_kb.empty() || rc.fan_in.empty() ||
-      rc.packet_gbps.empty()) {
-    throw ConfigError(file.origin() +
-                      ": [workload] point lists must be non-empty");
-  }
 
   // Reject sections the loader never looked at (typos, or [cc.X] for a
   // scheme the `schemes` list does not run).
@@ -263,6 +463,70 @@ RunnerConfig load_runner_config(const ConfigFile& file) {
   }
   return rc;
 }
+
+std::vector<ResultTable> run_config(const RunnerConfig& cfg,
+                                    const SweepRunner& runner) {
+  if (!cfg.scenario) {
+    throw std::logic_error("run_config: RunnerConfig carries no scenario");
+  }
+  return cfg.scenario->run(runner);
+}
+
+// ---- built-in kind execution --------------------------------------
+
+std::vector<ResultTable> FatTreeKindConfig::run(
+    const SweepRunner& runner) const {
+  std::vector<ResultTable> tables;
+  for (const double load : loads) {
+    tables.push_back(runner.run(
+        fct_sweep_spec(fat_tree, load, percentile, schemes, slug_prefix)));
+  }
+  return tables;
+}
+
+std::vector<ResultTable> IncastKindConfig::run(
+    const SweepRunner& runner) const {
+  std::vector<ResultTable> tables;
+  for (std::size_t i = 0; i < query_kb.size(); ++i) {
+    IncastScenario point = incast;
+    point.query_bytes = static_cast<std::int64_t>(query_kb[i] * 1e3);
+    point.fan_in =
+        static_cast<int>(fan_in[fan_in.size() == 1 ? 0 : i]);
+    tables.push_back(
+        incast_figure_table(runner, point, schemes, slug_prefix));
+  }
+  return tables;
+}
+
+std::vector<ResultTable> RdcnKindConfig::run(const SweepRunner& runner) const {
+  std::vector<ResultTable> tables;
+  RdcnScenario series = rdcn;
+  series.topo.packet_bw = sim::Bandwidth::gbps(packet_gbps.front());
+  char title[128];
+  std::snprintf(title, sizeof(title),
+                "rack0 -> rack1 throughput / VOQ time series "
+                "(%.0fG packet plane, %.0fG circuit)",
+                packet_gbps.front(), series.topo.circuit_bw.gbps_value());
+  tables.push_back(rdcn_timeseries_table(runner, series, schemes,
+                                         slug_prefix + "_timeseries", title));
+  std::snprintf(title, sizeof(title),
+                "p99 ToR queuing latency (us) vs packet bandwidth");
+  tables.push_back(rdcn_latency_table(runner, rdcn, schemes, packet_gbps,
+                                      slug_prefix + "_p99", title));
+  return tables;
+}
+
+std::vector<ResultTable> DumbbellKindConfig::run(
+    const SweepRunner& runner) const {
+  return dumbbell_fairness_tables(runner, dumbbell, schemes, slug_prefix);
+}
+
+std::vector<ResultTable> HomaOcKindConfig::run(
+    const SweepRunner& runner) const {
+  return homa_oc_tables(runner, homa_oc, schemes, slug_prefix);
+}
+
+// ---- shared table builders ----------------------------------------
 
 SweepSpec fct_sweep_spec(const FatTreeExperiment& base, double load,
                          double percentile,
@@ -345,74 +609,55 @@ ResultTable incast_figure_table(const SweepRunner& runner,
   return incast_table(runner, cfg, schemes, slug, title);
 }
 
-RunnerConfig fig6_runner_config(bool fast, bool full) {
+// ---- figure definitions shared by benches and configs -------------
+
+RunnerConfig fig5_runner_config() {
+  auto sc = std::make_shared<DumbbellKindConfig>();
+  sc->slug_prefix = "fig5";
+  for (const char* name : {"powertcp", "homa", "theta-powertcp", "timely"}) {
+    sc->schemes.push_back(SchemeRun{"", name, {}});
+  }
+  // DumbbellScenario defaults are exactly the Fig. 5 quick shape.
   RunnerConfig rc;
-  rc.kind = RunnerConfig::Kind::kFatTree;
-  rc.slug_prefix = "fig6";
-  rc.loads = {0.2, 0.6};
-  rc.percentile = 99.0;
-  rc.fat_tree.seed = 42;
-  rc.fat_tree.duration = sim::milliseconds(20);
-  rc.fat_tree.size_scale = 0.1;
-  if (fast) rc.fat_tree.duration = sim::milliseconds(8);
-  if (full) {
-    rc.fat_tree.topo = topo::FatTreeConfig();  // paper scale
-    rc.fat_tree.duration = sim::milliseconds(100);
-    rc.fat_tree.size_scale = 1.0;
-    rc.percentile = 99.9;
-  }
-  for (const char* name :
-       {"powertcp", "theta-powertcp", "hpcc", "dcqcn", "timely", "homa"}) {
-    rc.schemes.push_back(SchemeRun{"", name, {}});
-  }
+  rc.kind = "dumbbell";
+  rc.scenario = std::move(sc);
   return rc;
 }
 
-std::vector<ResultTable> run_config(const RunnerConfig& cfg,
-                                    const SweepRunner& runner) {
-  std::vector<ResultTable> tables;
-  switch (cfg.kind) {
-    case RunnerConfig::Kind::kFatTree: {
-      for (const double load : cfg.loads) {
-        tables.push_back(runner.run(fct_sweep_spec(
-            cfg.fat_tree, load, cfg.percentile, cfg.schemes,
-            cfg.slug_prefix)));
-      }
-      break;
-    }
-    case RunnerConfig::Kind::kIncast: {
-      for (std::size_t i = 0; i < cfg.query_kb.size(); ++i) {
-        IncastScenario point = cfg.incast;
-        point.query_bytes =
-            static_cast<std::int64_t>(cfg.query_kb[i] * 1e3);
-        point.fan_in = static_cast<int>(
-            cfg.fan_in[cfg.fan_in.size() == 1 ? 0 : i]);
-        tables.push_back(incast_figure_table(runner, point, cfg.schemes,
-                                             cfg.slug_prefix));
-      }
-      break;
-    }
-    case RunnerConfig::Kind::kRdcn: {
-      RdcnScenario series = cfg.rdcn;
-      series.topo.packet_bw = sim::Bandwidth::gbps(cfg.packet_gbps.front());
-      char title[128];
-      std::snprintf(title, sizeof(title),
-                    "rack0 -> rack1 throughput / VOQ time series "
-                    "(%.0fG packet plane, %.0fG circuit)",
-                    cfg.packet_gbps.front(),
-                    series.topo.circuit_bw.gbps_value());
-      tables.push_back(rdcn_timeseries_table(runner, series, cfg.schemes,
-                                             cfg.slug_prefix + "_timeseries",
-                                             title));
-      std::snprintf(title, sizeof(title),
-                    "p99 ToR queuing latency (us) vs packet bandwidth");
-      tables.push_back(rdcn_latency_table(runner, cfg.rdcn, cfg.schemes,
-                                          cfg.packet_gbps,
-                                          cfg.slug_prefix + "_p99", title));
-      break;
-    }
+RunnerConfig fig6_runner_config(bool fast, bool full) {
+  auto sc = std::make_shared<FatTreeKindConfig>();
+  sc->slug_prefix = "fig6";
+  sc->loads = {0.2, 0.6};
+  sc->percentile = 99.0;
+  sc->fat_tree.seed = 42;
+  sc->fat_tree.duration = sim::milliseconds(20);
+  sc->fat_tree.size_scale = 0.1;
+  if (fast) sc->fat_tree.duration = sim::milliseconds(8);
+  if (full) {
+    sc->fat_tree.topo = topo::FatTreeConfig();  // paper scale
+    sc->fat_tree.duration = sim::milliseconds(100);
+    sc->fat_tree.size_scale = 1.0;
+    sc->percentile = 99.9;
   }
-  return tables;
+  for (const char* name :
+       {"powertcp", "theta-powertcp", "hpcc", "dcqcn", "timely", "homa"}) {
+    sc->schemes.push_back(SchemeRun{"", name, {}});
+  }
+  RunnerConfig rc;
+  rc.kind = "fat_tree";
+  rc.scenario = std::move(sc);
+  return rc;
+}
+
+RunnerConfig fig9_runner_config() {
+  auto sc = std::make_shared<HomaOcKindConfig>();
+  sc->slug_prefix = "fig9";
+  sc->schemes.push_back(SchemeRun{"", "homa", {}});
+  // HomaOcScenario defaults are exactly the Figs. 9-11 quick shape.
+  RunnerConfig rc;
+  rc.kind = "homa_oc";
+  rc.scenario = std::move(sc);
+  return rc;
 }
 
 }  // namespace powertcp::harness

@@ -1,28 +1,39 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "harness/config.hpp"
 #include "harness/experiment.hpp"
+#include "harness/scenario_registry.hpp"
 #include "harness/scenarios.hpp"
 #include "harness/sweep.hpp"
 
 /// \file runner.hpp
 /// The config-file-driven experiment runner behind `powertcp_run`: a
-/// RunnerConfig describes one experiment family (which topology kind,
-/// which schemes with which `key=value` params, which workload points)
+/// RunnerConfig names one scenario kind (resolved through
+/// harness::ScenarioRegistry) plus its parsed, runnable ScenarioConfig,
 /// and run_config() executes it through SweepRunner into ResultTables.
-/// The figure benches build the same RunnerConfig programmatically, so
+/// The runner has no per-kind switch — each registry entry owns its
+/// `[topology]`/`[workload]` schema and its table emission, so a new
+/// paper shape is a registration, not a harness change. The figure
+/// benches build the same concrete scenario types programmatically, so
 /// a config file and its bench produce identical tables.
 ///
 /// Config format (see docs/reproducing.md for the full key reference):
 ///
 ///   [experiment]
-///   kind = fat_tree            # fat_tree | incast | rdcn
+///   kind = fat_tree            # any registered scenario kind:
+///                              # fat_tree | incast | rdcn | dumbbell
+///                              # | homa_oc  (powertcp_run --kinds)
 ///   slug = fig6                # table slug prefix
 ///   schemes = powertcp, hpcc, homa
-///   seed = 42
+///   seed = 42                  # seed/percentile are part of the shared
+///                              # ScenarioContext; kinds without random
+///                              # workloads / percentile metrics (the
+///                              # deterministic time-series shapes)
+///                              # ignore them
 ///   sim_queue = heap           # heap | calendar (backend-identical)
 ///
 ///   [topology]                 # kind-specific presets + overrides
@@ -40,32 +51,74 @@
 
 namespace powertcp::harness {
 
+/// A loaded experiment: the kind name plus the registry-parsed
+/// scenario. Benches construct the concrete scenario types below
+/// directly instead of going through a config file.
 struct RunnerConfig {
-  enum class Kind { kFatTree, kIncast, kRdcn };
-  Kind kind = Kind::kFatTree;
-  std::string slug_prefix = "run";
-  std::vector<SchemeRun> schemes;
+  std::string kind = "fat_tree";
+  std::shared_ptr<const ScenarioConfig> scenario;
+};
 
-  // kind == kFatTree: the workhorse FCT experiment per (load, scheme).
+// ---- the built-in scenario kinds ----------------------------------
+// One concrete ScenarioConfig per registered kind. Each carries the
+// resolved schemes and slug prefix itself (copied from the
+// [experiment] section at load time), so run() is self-contained.
+
+/// kind == "fat_tree": the workhorse FCT experiment per (load, scheme).
+struct FatTreeKindConfig final : ScenarioConfig {
   FatTreeExperiment fat_tree;
   std::vector<double> loads = {0.6};
   double percentile = 99.0;
+  std::vector<SchemeRun> schemes;
+  std::string slug_prefix = "run";
+  std::vector<ResultTable> run(const SweepRunner& runner) const override;
+};
 
-  // kind == kIncast: one table per (query_kb, fan_in) pair.
+/// kind == "incast": one Fig. 4-style table per (query_kb, fan_in).
+struct IncastKindConfig final : ScenarioConfig {
   IncastScenario incast;
   std::vector<double> query_kb = {0};
   std::vector<double> fan_in = {10};
-
-  // kind == kRdcn: a time series at packet_gbps.front() plus a p99
-  // latency table across all of packet_gbps.
-  RdcnScenario rdcn;
-  std::vector<double> packet_gbps = {25};
+  std::vector<SchemeRun> schemes;
+  std::string slug_prefix = "run";
+  std::vector<ResultTable> run(const SweepRunner& runner) const override;
 };
 
-/// Builds a RunnerConfig from a parsed file. Throws ConfigError on
-/// unknown sections/keys/kinds, unregistered schemes, or scheme params
-/// not declared by the registry entry.
-RunnerConfig load_runner_config(const ConfigFile& file);
+/// kind == "rdcn": a time series at packet_gbps.front() plus a p99
+/// latency table across all of packet_gbps.
+struct RdcnKindConfig final : ScenarioConfig {
+  RdcnScenario rdcn;
+  std::vector<double> packet_gbps = {25};
+  std::vector<SchemeRun> schemes;
+  std::string slug_prefix = "run";
+  std::vector<ResultTable> run(const SweepRunner& runner) const override;
+};
+
+/// kind == "dumbbell": Fig. 5 per-flow goodput series, one table per
+/// scheme.
+struct DumbbellKindConfig final : ScenarioConfig {
+  DumbbellScenario dumbbell;
+  std::vector<SchemeRun> schemes;
+  std::string slug_prefix = "run";
+  std::vector<ResultTable> run(const SweepRunner& runner) const override;
+};
+
+/// kind == "homa_oc": Figs. 9-11 overcommitment sweep (message
+/// transports only).
+struct HomaOcKindConfig final : ScenarioConfig {
+  HomaOcScenario homa_oc;
+  std::vector<SchemeRun> schemes;
+  std::string slug_prefix = "run";
+  std::vector<ResultTable> run(const SweepRunner& runner) const override;
+};
+
+/// Builds a RunnerConfig from a parsed file, resolving the kind
+/// through `registry`. Throws ConfigError on unknown kinds (listing
+/// the registered ones), unknown sections/keys, unregistered schemes,
+/// or scheme params not declared by the registry entry.
+RunnerConfig load_runner_config(
+    const ConfigFile& file,
+    const ScenarioRegistry& registry = ScenarioRegistry::instance());
 
 /// Executes every point and returns the tables in declaration order.
 /// Output is a pure function of the config: tables are identical for
@@ -75,23 +128,33 @@ std::vector<ResultTable> run_config(const RunnerConfig& cfg,
 
 /// The Fig. 6/7-style FCT sweep: one row per scheme at `load`, tail
 /// slowdown per paper size bucket plus allP50/drops/flows/done%.
-/// Exposed so bench_fig6 and run_config build identical specs.
+/// Exposed so bench_fig6 and the fat_tree kind build identical specs.
 SweepSpec fct_sweep_spec(const FatTreeExperiment& base, double load,
                          double percentile,
                          const std::vector<SchemeRun>& schemes,
                          const std::string& slug_prefix);
 
 /// Fig. 4-style incast table with the canonical title/slug for the
-/// (query, companions) shape; shared by bench_fig4 and run_config.
+/// (query, companions) shape; shared by bench_fig4 and the incast kind.
 ResultTable incast_figure_table(const SweepRunner& runner,
                                 const IncastScenario& cfg,
                                 const std::vector<SchemeRun>& schemes,
                                 const std::string& slug_prefix);
+
+/// The Fig. 5 experiment definition — what configs/fig5_quick.toml
+/// loads, so bench_fig5_fairness and `powertcp_run
+/// configs/fig5_quick.toml` print identical tables (pinned by test).
+RunnerConfig fig5_runner_config();
 
 /// The Fig. 6 experiment definition. The default (fast = full = false)
 /// equals what configs/fig6_quick.toml loads — bench_fig6_fct and
 /// `powertcp_run configs/fig6_quick.toml` therefore print identical
 /// tables; a test pins the equivalence.
 RunnerConfig fig6_runner_config(bool fast, bool full);
+
+/// The Figs. 9-11 experiment definition — what configs/fig9_oc.toml
+/// loads, so bench_fig9_homa_oc and `powertcp_run configs/fig9_oc.toml`
+/// print identical tables (pinned by test).
+RunnerConfig fig9_runner_config();
 
 }  // namespace powertcp::harness

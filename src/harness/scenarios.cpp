@@ -19,6 +19,22 @@ const cc::Scheme& resolve(const SchemeRun& run) {
   return cc::Registry::instance().at(run.scheme);
 }
 
+/// Hosts outside the receiver's rack (rack 0), excluding the long
+/// sender — the round-robin pool both fan-in scenarios draw
+/// responders from. Throws when the fabric has no such host: the
+/// responder modulo would otherwise divide by zero.
+int checked_remote_responders(const topo::FatTree& fabric,
+                              int servers_per_tor, const char* scenario) {
+  const int remote = fabric.host_count() - servers_per_tor - 1;
+  if (remote < 1) {
+    throw std::invalid_argument(
+        std::string(scenario) +
+        ": the fan-in needs at least one host outside the receiver's rack "
+        "(grow pods/tors_per_pod)");
+  }
+  return remote;
+}
+
 }  // namespace
 
 IncastSeries run_incast_scenario(const IncastScenario& cfg,
@@ -59,9 +75,13 @@ IncastSeries run_incast_scenario(const IncastScenario& cfg,
       cfg.query_bytes > 0
           ? std::max<std::int64_t>(1'000, cfg.query_bytes / cfg.fan_in)
           : cfg.long_flow_bytes;
+  const int remote_responders =
+      cfg.query_bytes > 0
+          ? checked_remote_responders(fabric, topo_cfg.servers_per_tor,
+                                      "IncastScenario")
+          : 1;  // responder_of is never called without a query fan-in
   const auto responder_of = [&](int i) {
-    return topo_cfg.servers_per_tor +
-           i % (fabric.host_count() - topo_cfg.servers_per_tor - 1);
+    return topo_cfg.servers_per_tor + i % remote_responders;
   };
 
   if (scheme.message_transport) {
@@ -275,6 +295,277 @@ ResultTable rdcn_timeseries_table(const SweepRunner& runner,
   }
   t.rows.push_back(std::move(util));
   return t;
+}
+
+DumbbellSeries run_dumbbell_scenario(const DumbbellScenario& cfg,
+                                     const SchemeRun& scheme_run) {
+  const cc::Scheme& scheme = resolve(scheme_run);
+  const int n_flows = static_cast<int>(cfg.flow_bytes.size());
+  if (n_flows < 1) {
+    throw std::invalid_argument("DumbbellScenario: needs at least one flow");
+  }
+
+  sim::Simulator simulator(cfg.sim_queue);
+  net::Network network(simulator);
+  topo::DumbbellConfig topo_cfg = cfg.topo;
+  topo_cfg.n_senders = n_flows;
+  topo_cfg.ecn = scheme.needs.ecn;
+  topo_cfg.priority_bands = scheme.needs.priority_bands;
+  topo::Dumbbell topo(network, topo_cfg);
+
+  cc::FlowParams params;
+  params.host_bw = topo_cfg.host_bw;
+  params.base_rtt = topo.base_rtt();
+  params.expected_flows = n_flows;
+
+  std::vector<stats::ThroughputSeries> series(
+      static_cast<std::size_t>(n_flows), stats::ThroughputSeries(0, cfg.bin));
+  const auto max_flow = static_cast<net::FlowId>(n_flows);
+  topo.receiver().set_data_callback(
+      [&series, max_flow](net::FlowId flow, std::int64_t bytes,
+                          sim::TimePs now) {
+        if (flow >= 1 && flow <= max_flow) {
+          series[static_cast<std::size_t>(flow - 1)].add_bytes(now, bytes);
+        }
+      });
+
+  if (scheme.message_transport) {
+    const host::HomaConfig hc =
+        host::homa_config_from_params(scheme_run.params, params);
+    for (int i = 0; i < n_flows; ++i) topo.sender(i).enable_homa(hc);
+    topo.receiver().enable_homa(hc);
+    for (int i = 0; i < n_flows; ++i) {
+      host::Host& s = topo.sender(i);
+      const auto fid = static_cast<net::FlowId>(i + 1);
+      const std::int64_t size = cfg.flow_bytes[static_cast<std::size_t>(i)];
+      const net::NodeId dst = topo.receiver_node();
+      simulator.schedule_at(i * cfg.stagger, [&s, fid, size, dst] {
+        s.homa()->send_message(fid, dst, size);
+      });
+    }
+  } else {
+    const cc::FlowCcFactory factory =
+        scheme.make(scheme_run.params, cc::SchemeTopology{});
+    for (int i = 0; i < n_flows; ++i) {
+      topo.sender(i).start_flow(static_cast<net::FlowId>(i + 1),
+                                topo.receiver_node(),
+                                cfg.flow_bytes[static_cast<std::size_t>(i)],
+                                factory(params, cc::FlowEndpoints{}), params,
+                                i * cfg.stagger);
+    }
+  }
+
+  simulator.run_until(cfg.horizon);
+
+  DumbbellSeries out;
+  out.gbps.resize(static_cast<std::size_t>(n_flows));
+  const auto stride = static_cast<std::size_t>(std::max(cfg.row_stride, 1));
+  // Rows span the longest-lived flow, not flow 0: arrival order and
+  // size order are both config-controlled (gbps() past a series' end
+  // is 0).
+  std::size_t bins = 0;
+  for (const auto& s : series) bins = std::max(bins, s.bin_count());
+  for (std::size_t b = 0; b < bins; b += stride) {
+    out.bin_start.push_back(series[0].bin_start(b));
+    for (std::size_t f = 0; f < static_cast<std::size_t>(n_flows); ++f) {
+      out.gbps[f].push_back(series[f].gbps(b));
+    }
+  }
+  return out;
+}
+
+ResultTable dumbbell_series_table(const DumbbellSeries& series,
+                                  const std::string& slug,
+                                  const std::string& title) {
+  ResultTable t;
+  t.title = title;
+  t.slug = slug;
+  t.key_columns = {"time"};
+  for (std::size_t f = 0; f < series.gbps.size(); ++f) {
+    t.value_columns.push_back("f" + std::to_string(f + 1));
+  }
+  for (std::size_t b = 0; b < series.bin_start.size(); ++b) {
+    ResultTable::Row row;
+    row.keys = {Cell(sim::format_time(series.bin_start[b]))};
+    for (const auto& flow : series.gbps) {
+      row.values.push_back(Cell(flow[b], 1));
+    }
+    t.rows.push_back(std::move(row));
+  }
+  return t;
+}
+
+std::vector<ResultTable> dumbbell_fairness_tables(
+    const SweepRunner& runner, const DumbbellScenario& cfg,
+    const std::vector<SchemeRun>& schemes, const std::string& slug_prefix) {
+  std::vector<std::function<DumbbellSeries()>> jobs;
+  jobs.reserve(schemes.size());
+  for (const auto& s : schemes) {
+    jobs.push_back([cfg, s] { return run_dumbbell_scenario(cfg, s); });
+  }
+  const std::vector<DumbbellSeries> results = runner.map(jobs);
+
+  std::vector<ResultTable> tables;
+  tables.reserve(schemes.size());
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    const std::string name = schemes[i].display();
+    tables.push_back(dumbbell_series_table(results[i], slug_prefix + "_" + name,
+                                           name + " (Gbps per flow)"));
+  }
+  return tables;
+}
+
+HomaOcIncastResult run_homa_oc_incast(const HomaOcScenario& cfg,
+                                      const SchemeRun& scheme_run,
+                                      int fan_in) {
+  const cc::Scheme& scheme = resolve(scheme_run);
+
+  sim::Simulator simulator(cfg.sim_queue);
+  net::Network network(simulator);
+  topo::FatTreeConfig topo_cfg = cfg.incast_topo;
+  topo_cfg.ecn = scheme.needs.ecn;
+  topo_cfg.priority_bands = scheme.needs.priority_bands;
+  topo::FatTree fabric(network, topo_cfg);
+
+  cc::FlowParams params;
+  params.host_bw = topo_cfg.host_bw;
+  params.base_rtt = fabric.max_base_rtt();
+  const host::HomaConfig hc =
+      host::homa_config_from_params(scheme_run.params, params);
+  for (int h = 0; h < fabric.host_count(); ++h) fabric.host(h).enable_homa(hc);
+
+  const int receiver = 0;
+  stats::QueueSeries queue;
+  fabric.tor(0).port(fabric.tor_down_port(receiver)).set_queue_monitor(&queue);
+  stats::ThroughputSeries goodput(0, cfg.incast_bin);
+  fabric.host(receiver).set_data_callback(
+      [&goodput](net::FlowId, std::int64_t bytes, sim::TimePs now) {
+        goodput.add_bytes(now, bytes);
+      });
+
+  // Long message from the far pod plus the synchronized burst.
+  host::Host& ls = fabric.host(fabric.host_count() - 1);
+  const std::int64_t long_bytes = cfg.long_message_bytes;
+  simulator.schedule_at(0, [&ls, &fabric, receiver, long_bytes] {
+    ls.homa()->send_message(1, fabric.host_node(receiver), long_bytes);
+  });
+  const int remote_responders =
+      fan_in > 0 ? checked_remote_responders(fabric, topo_cfg.servers_per_tor,
+                                             "HomaOcScenario")
+                 : 1;
+  const std::int64_t burst_bytes = cfg.burst_message_bytes;
+  for (int i = 0; i < fan_in; ++i) {
+    const int responder = topo_cfg.servers_per_tor + i % remote_responders;
+    host::Host& h = fabric.host(responder);
+    const auto fid = static_cast<net::FlowId>(100 + i);
+    simulator.schedule_at(cfg.burst_at, [&h, fid, &fabric, receiver,
+                                         burst_bytes] {
+      h.homa()->send_message(fid, fabric.host_node(receiver), burst_bytes);
+    });
+  }
+  simulator.run_until(cfg.incast_horizon);
+
+  HomaOcIncastResult out;
+  out.peak_queue_kb = static_cast<double>(queue.max_bytes()) / 1e3;
+  out.drops = fabric.total_drops();
+  out.mean_goodput_gbps = goodput.mean_gbps(0, goodput.bin_count());
+  return out;
+}
+
+std::vector<ResultTable> homa_oc_tables(const SweepRunner& runner,
+                                        const HomaOcScenario& cfg,
+                                        const std::vector<SchemeRun>& schemes,
+                                        const std::string& slug_prefix) {
+  for (const auto& s : schemes) {
+    if (!resolve(s).message_transport) {
+      throw std::invalid_argument(
+          "scheme '" + s.scheme +
+          "' is not a receiver-driven message transport; the overcommitment "
+          "sweep (kind homa_oc) drives message transports only");
+    }
+  }
+  if (cfg.overcommit.empty()) {
+    throw std::invalid_argument("HomaOcScenario: needs overcommit levels");
+  }
+
+  // Every (scheme, level) point is one independent simulation; the
+  // injected `overcommit` param rides the scheme's declared tunables.
+  const auto at_level = [](const SchemeRun& s, int oc) {
+    SchemeRun run = s;
+    run.params["overcommit"] = std::to_string(oc);
+    return run;
+  };
+
+  DumbbellScenario fairness = cfg.fairness;
+  fairness.sim_queue = cfg.sim_queue;
+  std::vector<std::function<DumbbellSeries()>> fairness_jobs;
+  fairness_jobs.reserve(schemes.size() * cfg.overcommit.size());
+  std::vector<std::function<HomaOcIncastResult()>> incast_jobs;
+  incast_jobs.reserve(schemes.size() * cfg.fan_in.size() *
+                      cfg.overcommit.size());
+  for (const auto& s : schemes) {
+    for (const int oc : cfg.overcommit) {
+      const SchemeRun run = at_level(s, oc);
+      fairness_jobs.push_back(
+          [fairness, run] { return run_dumbbell_scenario(fairness, run); });
+    }
+    for (const int fan : cfg.fan_in) {
+      for (const int oc : cfg.overcommit) {
+        const SchemeRun run = at_level(s, oc);
+        incast_jobs.push_back(
+            [cfg, run, fan] { return run_homa_oc_incast(cfg, run, fan); });
+      }
+    }
+  }
+  // One pool batch for both panels: every point is independent, so
+  // incast simulations start as soon as workers free up instead of
+  // waiting behind the slowest fairness run. Results land by index,
+  // keeping the tables deterministic.
+  std::vector<DumbbellSeries> fairness_results(fairness_jobs.size());
+  std::vector<HomaOcIncastResult> incast_results(incast_jobs.size());
+  runner.run_indexed(
+      fairness_jobs.size() + incast_jobs.size(), [&](std::size_t i) {
+        if (i < fairness_jobs.size()) {
+          fairness_results[i] = fairness_jobs[i]();
+        } else {
+          incast_results[i - fairness_jobs.size()] =
+              incast_jobs[i - fairness_jobs.size()]();
+        }
+      });
+
+  std::vector<ResultTable> tables;
+  std::size_t fairness_at = 0, incast_at = 0;
+  for (const auto& s : schemes) {
+    const std::string name = s.display();
+    for (const int oc : cfg.overcommit) {
+      tables.push_back(dumbbell_series_table(
+          fairness_results[fairness_at++],
+          slug_prefix + "_" + name + "_oc" + std::to_string(oc),
+          name + " fairness, overcommitment " + std::to_string(oc) +
+              " (Gbps per flow)"));
+    }
+    for (const int fan : cfg.fan_in) {
+      ResultTable t;
+      t.title = name + " " + std::to_string(fan) +
+                ":1 incast vs overcommitment (peak ToR queue, drops, "
+                "receiver goodput)";
+      t.slug = slug_prefix + "_" + name + "_incast" + std::to_string(fan) +
+               "to1";
+      t.key_columns = {"oc"};
+      t.value_columns = {"peakQ(KB)", "drops", "goodput(Gbps)"};
+      for (const int oc : cfg.overcommit) {
+        const HomaOcIncastResult& r = incast_results[incast_at++];
+        ResultTable::Row row;
+        row.keys = {Cell(std::to_string(oc))};
+        row.values = {Cell(r.peak_queue_kb, 1),
+                      Cell::integer(static_cast<std::int64_t>(r.drops)),
+                      Cell(r.mean_goodput_gbps, 1)};
+        t.rows.push_back(std::move(row));
+      }
+      tables.push_back(std::move(t));
+    }
+  }
+  return tables;
 }
 
 ResultTable rdcn_latency_table(const SweepRunner& runner,

@@ -8,15 +8,18 @@
 #include "harness/sweep.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
+#include "topo/dumbbell.hpp"
 #include "topo/fat_tree.hpp"
 #include "topo/rdcn.hpp"
 
 /// \file scenarios.hpp
-/// The non-sweep workhorse scenarios behind Figs. 4 and 8, shared by
-/// the figure benches and the `powertcp_run` config runner. Every
-/// scenario resolves its scheme through cc::Registry — topology needs
-/// (priority bands, CircuitSchedule) are applied from the registry
-/// entry, and `key=value` params flow into the scheme's factory.
+/// The non-sweep workhorse scenarios behind Figs. 4, 5, 8 and 9-11,
+/// shared by the figure benches and the `powertcp_run` config runner.
+/// Every scenario resolves its scheme through cc::Registry — topology
+/// needs (priority bands, ECN profile, CircuitSchedule) are applied
+/// from the registry entry, `key=value` params flow into the scheme's
+/// factory, and `message_transport` entries (Homa) run through
+/// host::Host::enable_homa instead of a sender algorithm.
 ///
 /// A SchemeRun names one table column/row: a registered scheme plus
 /// its parameter overrides and a display label (so e.g. reTCP-600us
@@ -102,5 +105,92 @@ ResultTable rdcn_latency_table(const SweepRunner& runner,
                                const std::vector<double>& packet_gbps,
                                const std::string& slug,
                                const std::string& title);
+
+/// Fig. 5: `flow_bytes.size()` flows share one dumbbell bottleneck,
+/// arriving staggered by `stagger` and (with the descending default
+/// sizes) departing in reverse order — the fairness/stability shape.
+struct DumbbellScenario {
+  /// n_senders is overwritten with the flow count at run time.
+  topo::DumbbellConfig topo;
+  std::vector<std::int64_t> flow_bytes = {14'000'000, 10'000'000, 6'000'000,
+                                          2'500'000};
+  sim::TimePs stagger = sim::microseconds(800);
+  sim::TimePs horizon = sim::milliseconds(8);
+  sim::TimePs bin = sim::microseconds(100);
+  /// Table rows sample every `row_stride`-th bin.
+  int row_stride = 4;
+  /// Event-queue backend; results are backend-independent.
+  sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
+};
+
+/// Per-flow receiver goodput, one sampled row per table line.
+struct DumbbellSeries {
+  std::vector<sim::TimePs> bin_start;
+  /// gbps[flow][row]; one entry per flow in DumbbellScenario order.
+  std::vector<std::vector<double>> gbps;
+};
+
+DumbbellSeries run_dumbbell_scenario(const DumbbellScenario& cfg,
+                                     const SchemeRun& scheme);
+
+/// Pure formatting: time rows, one f1..fN goodput column per flow.
+ResultTable dumbbell_series_table(const DumbbellSeries& series,
+                                  const std::string& slug,
+                                  const std::string& title);
+
+/// One "<scheme> (Gbps per flow)" table per scheme, slug
+/// "<prefix>_<display>". Per-scheme simulations run on the runner's
+/// pool; output is identical for every thread count.
+std::vector<ResultTable> dumbbell_fairness_tables(
+    const SweepRunner& runner, const DumbbellScenario& cfg,
+    const std::vector<SchemeRun>& schemes, const std::string& slug_prefix);
+
+/// Figs. 9-11 (Appendix D): a receiver-driven message transport swept
+/// across overcommitment levels — the dumbbell fairness series per
+/// level, plus N:1 incast reaction summaries on the fat-tree. Every
+/// scheme in the list must be a registry `message_transport` entry;
+/// the sweep injects `overcommit = <level>` into its params per point.
+struct HomaOcScenario {
+  /// Fig. 9's table density: every 8th fairness bin becomes a row.
+  static DumbbellScenario default_fairness() {
+    DumbbellScenario d;
+    d.row_stride = 8;
+    return d;
+  }
+
+  /// Fig. 9 panel (per-level fairness series).
+  DumbbellScenario fairness = default_fairness();
+  /// Figs. 10/11 panel (incast reaction summaries).
+  topo::FatTreeConfig incast_topo = topo::FatTreeConfig::quick();
+  std::vector<int> overcommit = {1, 2, 3, 4, 5, 6};
+  std::vector<int> fan_in = {10, 55};
+  std::int64_t long_message_bytes = 200'000'000;
+  std::int64_t burst_message_bytes = 100'000;
+  sim::TimePs burst_at = sim::microseconds(500);
+  sim::TimePs incast_horizon = sim::milliseconds(3);
+  sim::TimePs incast_bin = sim::microseconds(100);
+  /// Event-queue backend, applied to both panels.
+  sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
+};
+
+/// One incast reaction at one (overcommit via scheme params, fan_in)
+/// point: a long message holds the receiver's downlink when the
+/// synchronized burst arrives.
+struct HomaOcIncastResult {
+  double peak_queue_kb = 0;
+  std::uint64_t drops = 0;
+  double mean_goodput_gbps = 0;
+};
+
+HomaOcIncastResult run_homa_oc_incast(const HomaOcScenario& cfg,
+                                      const SchemeRun& scheme, int fan_in);
+
+/// Per scheme: one fairness table per overcommitment level, then one
+/// summary table per fan-in with a row per level. Throws
+/// std::invalid_argument for schemes that are not message transports.
+std::vector<ResultTable> homa_oc_tables(const SweepRunner& runner,
+                                        const HomaOcScenario& cfg,
+                                        const std::vector<SchemeRun>& schemes,
+                                        const std::string& slug_prefix);
 
 }  // namespace powertcp::harness

@@ -1,13 +1,14 @@
-/// Config-driven runner coverage: the fig6 golden equivalence
-/// (configs/fig6_quick.toml loads exactly the experiment bench_fig6_fct
-/// runs), end-to-end thread-count byte-identity for every experiment
-/// kind, the reTCP/HOMA topology wiring through run_config, and the
-/// loader's rejection paths.
+/// Config-driven runner coverage: the fig5/fig6/fig9 golden
+/// equivalences (each shipped config loads exactly the experiment its
+/// figure bench runs), end-to-end thread-count byte-identity for every
+/// scenario kind, the reTCP/HOMA topology wiring through run_config,
+/// and the loader's rejection paths.
 
 #include "harness/runner.hpp"
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
 #include "harness/config.hpp"
@@ -30,26 +31,49 @@ std::string render_all(const std::vector<ResultTable>& tables) {
   return out;
 }
 
-void expect_same_config(const RunnerConfig& a, const RunnerConfig& b) {
-  EXPECT_EQ(a.kind, b.kind);
+template <typename Kind>
+const Kind& as_kind(const RunnerConfig& cfg) {
+  const auto* kind = dynamic_cast<const Kind*>(cfg.scenario.get());
+  if (kind == nullptr) {
+    throw std::logic_error("RunnerConfig holds an unexpected scenario type");
+  }
+  return *kind;
+}
+
+void expect_same_schemes(const std::vector<SchemeRun>& a,
+                         const std::vector<SchemeRun>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].display(), b[i].display());
+    EXPECT_EQ(a[i].scheme, b[i].scheme);
+    EXPECT_EQ(a[i].params, b[i].params);
+  }
+}
+
+void expect_same_fat_tree_config(const RunnerConfig& ca,
+                                 const RunnerConfig& cb) {
+  EXPECT_EQ(ca.kind, cb.kind);
+  const FatTreeKindConfig& a = as_kind<FatTreeKindConfig>(ca);
+  const FatTreeKindConfig& b = as_kind<FatTreeKindConfig>(cb);
   EXPECT_EQ(a.slug_prefix, b.slug_prefix);
   EXPECT_EQ(a.loads, b.loads);
   EXPECT_DOUBLE_EQ(a.percentile, b.percentile);
-  ASSERT_EQ(a.schemes.size(), b.schemes.size());
-  for (std::size_t i = 0; i < a.schemes.size(); ++i) {
-    EXPECT_EQ(a.schemes[i].display(), b.schemes[i].display());
-    EXPECT_EQ(a.schemes[i].scheme, b.schemes[i].scheme);
-    EXPECT_EQ(a.schemes[i].params, b.schemes[i].params);
-  }
+  expect_same_schemes(a.schemes, b.schemes);
   EXPECT_EQ(a.fat_tree.duration, b.fat_tree.duration);
   EXPECT_EQ(a.fat_tree.seed, b.fat_tree.seed);
   EXPECT_DOUBLE_EQ(a.fat_tree.size_scale, b.fat_tree.size_scale);
   EXPECT_EQ(a.fat_tree.expected_flows, b.fat_tree.expected_flows);
   EXPECT_EQ(a.fat_tree.topo.pods, b.fat_tree.topo.pods);
   EXPECT_EQ(a.fat_tree.topo.servers_per_tor, b.fat_tree.topo.servers_per_tor);
-  EXPECT_DOUBLE_EQ(a.fat_tree.topo.host_bw.bps(), b.fat_tree.topo.host_bw.bps());
+  EXPECT_DOUBLE_EQ(a.fat_tree.topo.host_bw.bps(),
+                   b.fat_tree.topo.host_bw.bps());
   EXPECT_DOUBLE_EQ(a.fat_tree.topo.fabric_bw.bps(),
                    b.fat_tree.topo.fabric_bw.bps());
+}
+
+RunnerConfig load_shipped_config(const std::string& name) {
+  return load_runner_config(ConfigFile::parse_file(
+      std::string(POWERTCP_SOURCE_DIR) + "/configs/" + name));
 }
 
 /// The golden-file link between the unified CLI and the figure bench:
@@ -57,21 +81,19 @@ void expect_same_config(const RunnerConfig& a, const RunnerConfig& b) {
 /// bench_fig6_fct executes, so `powertcp_run configs/fig6_quick.toml`
 /// and `./build/bench_fig6_fct` print identical tables.
 TEST(RunnerGolden, Fig6ConfigMatchesBench) {
-  const auto file = ConfigFile::parse_file(std::string(POWERTCP_SOURCE_DIR) +
-                                           "/configs/fig6_quick.toml");
-  const RunnerConfig from_config = load_runner_config(file);
+  const RunnerConfig from_config = load_shipped_config("fig6_quick.toml");
   const RunnerConfig from_bench = fig6_runner_config(false, false);
-  expect_same_config(from_config, from_bench);
+  expect_same_fat_tree_config(from_config, from_bench);
 
   // And the spec both expand to is structurally the one bench_fig6
   // has always run: same slugs, titles, columns, and point configs.
-  for (const double load : from_bench.loads) {
-    const SweepSpec a =
-        fct_sweep_spec(from_config.fat_tree, load, from_config.percentile,
-                       from_config.schemes, from_config.slug_prefix);
-    const SweepSpec b =
-        fct_sweep_spec(from_bench.fat_tree, load, from_bench.percentile,
-                       from_bench.schemes, from_bench.slug_prefix);
+  const FatTreeKindConfig& fa = as_kind<FatTreeKindConfig>(from_config);
+  const FatTreeKindConfig& fb = as_kind<FatTreeKindConfig>(from_bench);
+  for (const double load : fb.loads) {
+    const SweepSpec a = fct_sweep_spec(fa.fat_tree, load, fa.percentile,
+                                       fa.schemes, fa.slug_prefix);
+    const SweepSpec b = fct_sweep_spec(fb.fat_tree, load, fb.percentile,
+                                       fb.schemes, fb.slug_prefix);
     EXPECT_EQ(a.title, b.title);
     EXPECT_EQ(a.slug, b.slug);
     EXPECT_EQ(a.value_columns, b.value_columns);
@@ -85,12 +107,83 @@ TEST(RunnerGolden, Fig6ConfigMatchesBench) {
   }
 }
 
+/// configs/fig5_quick.toml loads the exact scenario
+/// bench_fig5_fairness runs, and executing both yields byte-identical
+/// tables — the pre-refactor bench output is pinned by the committed
+/// bench/baselines/fig5.json gate in CI.
+TEST(RunnerGolden, Fig5ConfigMatchesBench) {
+  const RunnerConfig from_config = load_shipped_config("fig5_quick.toml");
+  const RunnerConfig from_bench = fig5_runner_config();
+  EXPECT_EQ(from_config.kind, "dumbbell");
+  EXPECT_EQ(from_config.kind, from_bench.kind);
+  const DumbbellKindConfig& a = as_kind<DumbbellKindConfig>(from_config);
+  const DumbbellKindConfig& b = as_kind<DumbbellKindConfig>(from_bench);
+  EXPECT_EQ(a.slug_prefix, b.slug_prefix);
+  expect_same_schemes(a.schemes, b.schemes);
+  EXPECT_EQ(a.dumbbell.flow_bytes, b.dumbbell.flow_bytes);
+  EXPECT_EQ(a.dumbbell.stagger, b.dumbbell.stagger);
+  EXPECT_EQ(a.dumbbell.horizon, b.dumbbell.horizon);
+  EXPECT_EQ(a.dumbbell.bin, b.dumbbell.bin);
+  EXPECT_EQ(a.dumbbell.row_stride, b.dumbbell.row_stride);
+  EXPECT_DOUBLE_EQ(a.dumbbell.topo.host_bw.bps(),
+                   b.dumbbell.topo.host_bw.bps());
+  EXPECT_DOUBLE_EQ(a.dumbbell.topo.bottleneck_bw.bps(),
+                   b.dumbbell.topo.bottleneck_bw.bps());
+
+  const SweepRunner runner(2);
+  EXPECT_EQ(render_all(run_config(from_config, runner)),
+            render_all(run_config(from_bench, runner)));
+}
+
+/// configs/fig9_oc.toml loads the exact scenario bench_fig9_homa_oc
+/// runs; a reduced-scale copy of both executes byte-identically (the
+/// full-scale equivalence follows because run() is a pure function of
+/// the compared fields).
+TEST(RunnerGolden, Fig9ConfigMatchesBench) {
+  const RunnerConfig from_config = load_shipped_config("fig9_oc.toml");
+  const RunnerConfig from_bench = fig9_runner_config();
+  EXPECT_EQ(from_config.kind, "homa_oc");
+  EXPECT_EQ(from_config.kind, from_bench.kind);
+  const HomaOcKindConfig& a = as_kind<HomaOcKindConfig>(from_config);
+  const HomaOcKindConfig& b = as_kind<HomaOcKindConfig>(from_bench);
+  EXPECT_EQ(a.slug_prefix, b.slug_prefix);
+  expect_same_schemes(a.schemes, b.schemes);
+  EXPECT_EQ(a.homa_oc.overcommit, b.homa_oc.overcommit);
+  EXPECT_EQ(a.homa_oc.fan_in, b.homa_oc.fan_in);
+  EXPECT_EQ(a.homa_oc.fairness.flow_bytes, b.homa_oc.fairness.flow_bytes);
+  EXPECT_EQ(a.homa_oc.fairness.stagger, b.homa_oc.fairness.stagger);
+  EXPECT_EQ(a.homa_oc.fairness.horizon, b.homa_oc.fairness.horizon);
+  EXPECT_EQ(a.homa_oc.fairness.bin, b.homa_oc.fairness.bin);
+  EXPECT_EQ(a.homa_oc.fairness.row_stride, b.homa_oc.fairness.row_stride);
+  EXPECT_EQ(a.homa_oc.long_message_bytes, b.homa_oc.long_message_bytes);
+  EXPECT_EQ(a.homa_oc.burst_message_bytes, b.homa_oc.burst_message_bytes);
+  EXPECT_EQ(a.homa_oc.burst_at, b.homa_oc.burst_at);
+  EXPECT_EQ(a.homa_oc.incast_horizon, b.homa_oc.incast_horizon);
+  EXPECT_EQ(a.homa_oc.incast_bin, b.homa_oc.incast_bin);
+  EXPECT_EQ(a.homa_oc.incast_topo.servers_per_tor,
+            b.homa_oc.incast_topo.servers_per_tor);
+
+  const auto reduced = [](const HomaOcKindConfig& src) {
+    auto copy = std::make_shared<HomaOcKindConfig>(src);
+    copy->homa_oc.overcommit = {1, 2};
+    copy->homa_oc.fan_in = {4};
+    copy->homa_oc.fairness.horizon = sim::milliseconds(1);
+    copy->homa_oc.incast_horizon = sim::microseconds(600);
+    RunnerConfig rc;
+    rc.kind = "homa_oc";
+    rc.scenario = std::move(copy);
+    return rc;
+  };
+  const SweepRunner runner(2);
+  EXPECT_EQ(render_all(run_config(reduced(a), runner)),
+            render_all(run_config(reduced(b), runner)));
+}
+
 TEST(RunnerGolden, ShippedConfigsAllLoad) {
-  for (const char* name : {"fig4_quick.toml", "fig6_quick.toml",
-                           "fig7_load_sweep.toml", "fig8_quick.toml"}) {
-    const auto file = ConfigFile::parse_file(
-        std::string(POWERTCP_SOURCE_DIR) + "/configs/" + name);
-    EXPECT_NO_THROW(load_runner_config(file)) << name;
+  for (const char* name :
+       {"fig4_quick.toml", "fig5_quick.toml", "fig6_quick.toml",
+        "fig7_load_sweep.toml", "fig8_quick.toml", "fig9_oc.toml"}) {
+    EXPECT_NO_THROW(load_shipped_config(name)) << name;
   }
 }
 
@@ -127,9 +220,12 @@ TEST(Runner, CalendarQueueProducesByteIdenticalTables) {
   // The event-queue backend is a pure data-structure swap: the whole
   // fat-tree experiment must render identical tables on the calendar
   // queue and the default binary heap.
-  RunnerConfig heap_cfg = mini_fat_tree_config();
+  const RunnerConfig heap_cfg = mini_fat_tree_config();
   RunnerConfig cal_cfg = mini_fat_tree_config();
-  cal_cfg.fat_tree.sim_queue = sim::QueueKind::kCalendar;
+  auto cal =
+      std::make_shared<FatTreeKindConfig>(as_kind<FatTreeKindConfig>(cal_cfg));
+  cal->fat_tree.sim_queue = sim::QueueKind::kCalendar;
+  cal_cfg.scenario = std::move(cal);
   const SweepRunner runner(1);
   EXPECT_EQ(render_all(run_config(heap_cfg, runner)),
             render_all(run_config(cal_cfg, runner)));
@@ -142,12 +238,12 @@ TEST(Runner, SimQueueKeyParsesAndRejectsUnknownBackends) {
   };
   const auto cal = load_runner_config(
       ConfigFile::parse(config_with("sim_queue = calendar\n"), "q.toml"));
-  EXPECT_EQ(cal.fat_tree.sim_queue, sim::QueueKind::kCalendar);
-  EXPECT_EQ(cal.incast.sim_queue, sim::QueueKind::kCalendar);
-  EXPECT_EQ(cal.rdcn.sim_queue, sim::QueueKind::kCalendar);
+  EXPECT_EQ(as_kind<FatTreeKindConfig>(cal).fat_tree.sim_queue,
+            sim::QueueKind::kCalendar);
   const auto heap =
       load_runner_config(ConfigFile::parse(config_with(""), "q.toml"));
-  EXPECT_EQ(heap.fat_tree.sim_queue, sim::QueueKind::kBinaryHeap);
+  EXPECT_EQ(as_kind<FatTreeKindConfig>(heap).fat_tree.sim_queue,
+            sim::QueueKind::kBinaryHeap);
   EXPECT_THROW(load_runner_config(ConfigFile::parse(
                    config_with("sim_queue = wheel\n"), "q.toml")),
                ConfigError);
@@ -155,12 +251,12 @@ TEST(Runner, SimQueueKeyParsesAndRejectsUnknownBackends) {
 
 TEST(Runner, FatTreeConfigEqualsDirectlyBuiltSpec) {
   const RunnerConfig cfg = mini_fat_tree_config();
+  const FatTreeKindConfig& ft = as_kind<FatTreeKindConfig>(cfg);
   const SweepRunner runner(1);
   const auto via_config = run_config(cfg, runner);
   ASSERT_EQ(via_config.size(), 1u);
   const ResultTable direct = runner.run(fct_sweep_spec(
-      cfg.fat_tree, cfg.loads[0], cfg.percentile, cfg.schemes,
-      cfg.slug_prefix));
+      ft.fat_tree, ft.loads[0], ft.percentile, ft.schemes, ft.slug_prefix));
   EXPECT_EQ(via_config[0].render_text(), direct.render_text());
 }
 
@@ -221,6 +317,99 @@ overcommit = 2
   EXPECT_NE(t1.find("miniincast_10to1"), std::string::npos);
 }
 
+TEST(Runner, DumbbellTimeSeriesIsByteIdenticalAcrossThreadCounts) {
+  const auto file = ConfigFile::parse(R"(
+[experiment]
+kind = dumbbell
+slug = minifair
+schemes = powertcp, timely, homa
+
+[workload]
+flow_mb = 3, 1.5
+stagger_us = 200
+horizon_ms = 2
+bin_us = 100
+row_every = 2
+)",
+                                      "minifair.toml");
+  const RunnerConfig cfg = load_runner_config(file);
+  const auto t1 = render_all(run_config(cfg, SweepRunner(1)));
+  const auto t3 = render_all(run_config(cfg, SweepRunner(3)));
+  EXPECT_EQ(t1, t3);
+  // One table per scheme with per-flow columns; homa ran through the
+  // registry's message-transport path on the same dumbbell.
+  EXPECT_NE(t1.find("minifair_powertcp"), std::string::npos);
+  EXPECT_NE(t1.find("minifair_timely"), std::string::npos);
+  EXPECT_NE(t1.find("minifair_homa"), std::string::npos);
+  EXPECT_NE(t1.find("f2"), std::string::npos);
+}
+
+TEST(Runner, DumbbellRowsSpanTheLongestFlow) {
+  // Flow order is config-controlled: with ascending sizes flow 1
+  // finishes first, and the table must keep rows until the last flow
+  // drains rather than stopping at flow 1's final bin.
+  const auto file = ConfigFile::parse(R"(
+[experiment]
+kind = dumbbell
+schemes = powertcp
+
+[workload]
+flow_mb = 0.2, 2
+stagger_us = 0
+horizon_ms = 3
+bin_us = 100
+row_every = 1
+)",
+                                      "asc.toml");
+  const RunnerConfig cfg = load_runner_config(file);
+  const auto tables = run_config(cfg, SweepRunner(1));
+  ASSERT_EQ(tables.size(), 1u);
+  const auto& rows = tables[0].rows;
+  ASSERT_FALSE(rows.empty());
+  // The final row lands in flow 2's last active bin: goodput in f2,
+  // nothing left of flow 1.
+  EXPECT_GT(rows.back().values.at(1).number(), 0.0);
+  EXPECT_EQ(rows.back().values.at(0).number(), 0.0);
+}
+
+TEST(Runner, SingleRackFabricsRejectFanInsInsteadOfCrashing) {
+  // A one-rack fat-tree leaves no host outside the receiver's rack to
+  // answer a burst: the modulo that picks responders would divide by
+  // zero (SIGFPE). Both fan-in scenarios must throw instead.
+  const auto load = [](const std::string& text) {
+    return load_runner_config(ConfigFile::parse(text, "tiny.toml"));
+  };
+  const std::string tiny_topo =
+      "[topology]\npods = 1\ntors_per_pod = 1\naggs_per_pod = 1\n"
+      "cores = 1\nservers_per_tor = 2\n";
+  const auto incast = load(
+      "[experiment]\nkind = incast\nschemes = powertcp\n" + tiny_topo +
+      "[workload]\nquery_kb = 100\nfan_in = 4\nhorizon_ms = 1\n");
+  EXPECT_THROW(run_config(incast, SweepRunner(1)), std::invalid_argument);
+  const auto oc = load(
+      "[experiment]\nkind = homa_oc\nschemes = homa\n" + tiny_topo +
+      "[workload]\novercommit = 1\nfan_in = 2\n"
+      "fairness_horizon_ms = 1\nincast_horizon_ms = 1\n");
+  EXPECT_THROW(run_config(oc, SweepRunner(1)), std::invalid_argument);
+}
+
+TEST(Runner, HomaOcKindRejectsSenderCcSchemes) {
+  const auto file = ConfigFile::parse(R"(
+[experiment]
+kind = homa_oc
+schemes = powertcp
+
+[workload]
+overcommit = 1
+fan_in = 2
+)",
+                                      "ocbad.toml");
+  // The registry check fires inside run_config -> homa_oc_tables: the
+  // overcommitment sweep drives message transports only.
+  const RunnerConfig cfg = load_runner_config(file);
+  EXPECT_THROW(run_config(cfg, SweepRunner(1)), std::invalid_argument);
+}
+
 TEST(Runner, LoaderRejectsUnknownSchemesKeysAndSections) {
   const auto load = [](const std::string& text) {
     return load_runner_config(ConfigFile::parse(text, "bad.toml"));
@@ -235,6 +424,13 @@ TEST(Runner, LoaderRejectsUnknownSchemesKeysAndSections) {
   EXPECT_THROW(load("[experiment]\nschemes = powertcp\n"
                     "[workload]\nlods = 0.2\n"),
                ConfigError);
+  // Unknown workload key for the new kinds, too.
+  EXPECT_THROW(load("[experiment]\nkind = dumbbell\nschemes = powertcp\n"
+                    "[workload]\nflw_mb = 2\n"),
+               ConfigError);
+  EXPECT_THROW(load("[experiment]\nkind = homa_oc\nschemes = homa\n"
+                    "[workload]\novercommitt = 2\n"),
+               ConfigError);
   // Unused section (typo'd scheme section).
   EXPECT_THROW(load("[experiment]\nschemes = powertcp\n"
                     "[cc.powertpc]\ngamma = 0.9\n"),
@@ -244,6 +440,40 @@ TEST(Runner, LoaderRejectsUnknownSchemesKeysAndSections) {
                ConfigError);
   EXPECT_THROW(load("[workload]\nloads = 0.2\n"), ConfigError);
   EXPECT_THROW(load("[experiment]\nkind = fat_tree\n"), ConfigError);
+  // Bad values for the new kinds' validated keys.
+  EXPECT_THROW(load("[experiment]\nkind = dumbbell\nschemes = powertcp\n"
+                    "[workload]\nrow_every = 0\n"),
+               ConfigError);
+  EXPECT_THROW(load("[experiment]\nkind = dumbbell\nschemes = powertcp\n"
+                    "[workload]\nflow_mb = 0\n"),
+               ConfigError);
+  EXPECT_THROW(load("[experiment]\nkind = homa_oc\nschemes = homa\n"
+                    "[workload]\novercommit = 0\n"),
+               ConfigError);
+  // Integer point lists must be integers: silently truncating 2.5 to
+  // level 2 would run points the config does not state.
+  EXPECT_THROW(load("[experiment]\nkind = homa_oc\nschemes = homa\n"
+                    "[workload]\novercommit = 2.5\n"),
+               ConfigError);
+  EXPECT_THROW(load("[experiment]\nkind = homa_oc\nschemes = homa\n"
+                    "[workload]\nfan_in = 10.7\n"),
+               ConfigError);
+  EXPECT_THROW(load("[experiment]\nkind = incast\nschemes = powertcp\n"
+                    "[workload]\nfan_in = 2.7\n"),
+               ConfigError);
+  // Out-of-int-range values must be a ConfigError, not an undefined
+  // double->int cast.
+  EXPECT_THROW(load("[experiment]\nkind = homa_oc\nschemes = homa\n"
+                    "[workload]\novercommit = 3000000000\n"),
+               ConfigError);
+  // Likewise for byte-size keys: NaN slips past a <= 0 check and a
+  // huge value is an undefined int64 cast; both must throw.
+  EXPECT_THROW(load("[experiment]\nkind = dumbbell\nschemes = powertcp\n"
+                    "[workload]\nflow_mb = nan\n"),
+               ConfigError);
+  EXPECT_THROW(load("[experiment]\nkind = homa_oc\nschemes = homa\n"
+                    "[workload]\nlong_message_mb = 1e15\n"),
+               ConfigError);
   // A query incast needs a positive fan-in (the query splits across
   // it); fan_in = 0 with query_kb > 0 must fail at load, not SIGFPE
   // in the scenario.
@@ -273,17 +503,18 @@ fan_in = 8, 16
 )",
                                       "slugs.toml");
   const RunnerConfig cfg = load_runner_config(file);
-  IncastScenario a = cfg.incast;
+  const IncastKindConfig& kind = as_kind<IncastKindConfig>(cfg);
+  IncastScenario a = kind.incast;
   a.query_bytes = 500'000;
   a.fan_in = 8;
-  IncastScenario b = cfg.incast;
+  IncastScenario b = kind.incast;
   b.query_bytes = 2'000'000;
   b.fan_in = 16;
   // Slug generation is pure string work; shrink the simulations.
   a.horizon = b.horizon = sim::microseconds(200);
   const SweepRunner runner(1);
-  const auto ta = incast_figure_table(runner, a, cfg.schemes, "fig4");
-  const auto tb = incast_figure_table(runner, b, cfg.schemes, "fig4");
+  const auto ta = incast_figure_table(runner, a, kind.schemes, "fig4");
+  const auto tb = incast_figure_table(runner, b, kind.schemes, "fig4");
   EXPECT_EQ(ta.slug, "fig4_query500kb");
   EXPECT_EQ(tb.slug, "fig4_query2000kb");
 }
@@ -307,11 +538,12 @@ gamma = 0.1
 )",
                                       "alias.toml");
   const RunnerConfig cfg = load_runner_config(file);
-  ASSERT_EQ(cfg.schemes.size(), 2u);
-  EXPECT_EQ(cfg.schemes[0].display(), "fast-power");
-  EXPECT_EQ(cfg.schemes[0].scheme, "powertcp");
-  EXPECT_EQ(cfg.schemes[0].params.at("gamma"), "1.0");
-  EXPECT_EQ(cfg.schemes[1].params.at("gamma"), "0.1");
+  const FatTreeKindConfig& kind = as_kind<FatTreeKindConfig>(cfg);
+  ASSERT_EQ(kind.schemes.size(), 2u);
+  EXPECT_EQ(kind.schemes[0].display(), "fast-power");
+  EXPECT_EQ(kind.schemes[0].scheme, "powertcp");
+  EXPECT_EQ(kind.schemes[0].params.at("gamma"), "1.0");
+  EXPECT_EQ(kind.schemes[1].params.at("gamma"), "0.1");
 }
 
 }  // namespace

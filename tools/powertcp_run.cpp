@@ -21,6 +21,7 @@
 #include "harness/bench_opts.hpp"
 #include "harness/config.hpp"
 #include "harness/runner.hpp"
+#include "harness/scenario_registry.hpp"
 
 using namespace powertcp;
 
@@ -34,9 +35,25 @@ const char* kUsage =
     "  --json=FILE  write all result tables as one JSON document\n"
     "  --schemes    list registered schemes, their tunables and\n"
     "               topology needs, then exit\n"
+    "  --kinds      list registered scenario kinds and their\n"
+    "               [topology]/[workload] keys, then exit\n"
     "  --help       this message\n"
     "CONFIG files define [experiment]/[topology]/[workload]/[cc.*]\n"
-    "sections; see configs/ and docs/reproducing.md.\n";
+    "sections; `kind = <name>` under [experiment] picks any registered\n"
+    "scenario kind. See configs/ and docs/reproducing.md.\n";
+
+void list_kinds() {
+  for (const auto& kind : harness::ScenarioRegistry::instance().entries()) {
+    std::printf("%s\n  %s\n", kind.name.c_str(), kind.summary.c_str());
+    if (!kind.topology_keys.empty()) {
+      std::printf("  [topology] %s\n", kind.topology_keys.c_str());
+    }
+    if (!kind.workload_keys.empty()) {
+      std::printf("  [workload] %s\n", kind.workload_keys.c_str());
+    }
+    std::printf("\n");
+  }
+}
 
 void list_schemes() {
   for (const auto& scheme : cc::Registry::instance().schemes()) {
@@ -97,6 +114,9 @@ int main(int argc, char** argv) {
       opts.json_path = value;
     } else if (std::strcmp(arg, "--schemes") == 0) {
       list_schemes();
+      return 0;
+    } else if (std::strcmp(arg, "--kinds") == 0) {
+      list_kinds();
       return 0;
     } else if (std::strcmp(arg, "--help") == 0 ||
                std::strcmp(arg, "-h") == 0) {
