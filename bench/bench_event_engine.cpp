@@ -6,15 +6,19 @@
 /// std::function baseline quantifying what the inline-callback /
 /// packet-pool rewrite removed.
 ///
-/// Throughput numbers are wall-clock dependent: CI uploads this bench's
-/// JSON as an informational artifact, not a regression gate. The
-/// events-executed columns ARE deterministic and double as a
-/// cross-backend identity check (the bench aborts if they disagree).
+/// This bench is the calibrated perf gate: CI compares its JSON against
+/// bench/baselines/perf.json via scripts/check_perf_baseline.py. The
+/// events and allocs/event columns are deterministic and gated exactly
+/// (the bench also aborts on cross-backend event-count divergence);
+/// the Mev/s throughput columns are wall-clock dependent and gated
+/// only loosely, with tolerance learned from repeat runs.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -27,6 +31,63 @@
 
 using namespace powertcp;
 using harness::Cell;
+
+// Counting replacements for the global allocator (one set per binary),
+// the same technique as tests/sim/test_allocations.cpp: every heap
+// allocation in the measured workloads shows up in the allocs/event
+// columns, which the perf gate then pins exactly.
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t n) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(align, (n + align - 1) / align * align)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -117,15 +178,25 @@ std::uint64_t run_std_function_baseline(std::uint64_t events) {
 struct Measurement {
   double mops = 0;
   std::uint64_t events = 0;
+  double allocs_per_event = 0;
 };
 
 template <typename Fn>
 Measurement measure(Fn&& fn) {
+  const std::uint64_t allocs0 =
+      g_allocations.load(std::memory_order_relaxed);
   const auto t0 = std::chrono::steady_clock::now();
   Measurement m;
   m.events = fn();
   const double secs = seconds_since(t0);
+  const std::uint64_t allocs =
+      g_allocations.load(std::memory_order_relaxed) - allocs0;
   m.mops = secs > 0 ? static_cast<double>(m.events) / secs / 1e6 : 0;
+  // Setup allocations (topology, vector growth) amortize to 0.00 at
+  // precision 2; a real per-event allocation reads >= 1.00.
+  m.allocs_per_event = m.events > 0 ? static_cast<double>(allocs) /
+                                          static_cast<double>(m.events)
+                                    : 0;
   return m;
 }
 
@@ -159,11 +230,12 @@ int main(int argc, char** argv) {
   harness::BenchReporter reporter("bench_event_engine", opts);
 
   harness::ResultTable t;
-  t.title = "event engine throughput (million events/sec, wall clock — "
-            "informational, not gated)";
+  t.title = "event engine throughput (Mev/s gated loosely vs "
+            "bench/baselines/perf.json; events and allocs/ev exactly)";
   t.slug = "event_engine";
   t.key_columns = {"workload"};
-  t.value_columns = {"heap Mev/s", "calendar Mev/s", "events"};
+  t.value_columns = {"heap Mev/s", "calendar Mev/s", "events",
+                     "heap allocs/ev", "calendar allocs/ev"};
 
   const struct {
     const char* name;
@@ -197,7 +269,9 @@ int main(int argc, char** argv) {
     harness::ResultTable::Row row;
     row.keys = {Cell(std::string(c.name))};
     row.values = {Cell(heap.mops, 2), Cell(cal.mops, 2),
-                  Cell::integer(static_cast<std::int64_t>(heap.events))};
+                  Cell::integer(static_cast<std::int64_t>(heap.events)),
+                  Cell(heap.allocs_per_event, 2),
+                  Cell(cal.allocs_per_event, 2)};
     t.rows.push_back(std::move(row));
   }
 
@@ -213,7 +287,9 @@ int main(int argc, char** argv) {
     harness::ResultTable::Row row;
     row.keys = {Cell(std::string("dumbbell packet sim"))};
     row.values = {Cell(heap.mops, 2), Cell(cal.mops, 2),
-                  Cell::integer(static_cast<std::int64_t>(heap.events))};
+                  Cell::integer(static_cast<std::int64_t>(heap.events)),
+                  Cell(heap.allocs_per_event, 2),
+                  Cell(cal.allocs_per_event, 2)};
     t.rows.push_back(std::move(row));
   }
   reporter.add(std::move(t));
@@ -224,12 +300,12 @@ int main(int argc, char** argv) {
   base.title = "std::function alloc-per-event baseline (the old hot path)";
   base.slug = "event_engine_baseline";
   base.key_columns = {"workload"};
-  base.value_columns = {"Mev/s"};
+  base.value_columns = {"Mev/s", "allocs/ev"};
   const Measurement sf =
       measure([&] { return run_std_function_baseline(scale); });
   harness::ResultTable::Row row;
   row.keys = {Cell(std::string("std::function + 352B capture"))};
-  row.values = {Cell(sf.mops, 2)};
+  row.values = {Cell(sf.mops, 2), Cell(sf.allocs_per_event, 2)};
   base.rows.push_back(std::move(row));
   reporter.add(std::move(base));
 

@@ -5,92 +5,36 @@
 ///      laws are flat, gradient-based laws proportional;
 ///  (b) multiplicative decrease vs queue *length* — gradient-based laws
 ///      are flat, voltage-based laws proportional;
-///  (c) the three-case disambiguation: voltage cannot tell case-2 from
-///      case-3, current cannot tell case-1 from case-3; power can.
+///  (c) the three-case disambiguation: voltage (3.24/2.12/2.12) cannot
+///      tell case-2 from case-3, current (9/1/9) cannot tell case-1
+///      from case-3; power separates all three.
+///
+/// The curves live in harness/runner.* behind the `single_flow`
+/// registry kind (shared with `powertcp_run configs/fig2_reaction.toml`,
+/// which prints identical tables — pinned by
+/// RunnerGolden.Fig2ConfigMatchesBench).
 
 #include <cstdio>
 
-#include "analysis/control_law.hpp"
+#include "harness/bench_opts.hpp"
+#include "harness/runner.hpp"
 
-using namespace powertcp::analysis;
+using namespace powertcp;
 
-namespace {
-
-/// Fig. 2's illustrative setting: b·τ = 22.32 packets of 1 KB, so the
-/// paper's printed decrease factors (3.24 / 2.12 / 9 / 1) come out
-/// exactly.
-FluidParams fig2_params() {
-  FluidParams p;
-  p.bandwidth_Bps = 25e9 / 8.0;        // 25 Gbps bottleneck
-  p.base_rtt_s = 22.32 * 1000.0 / p.bandwidth_Bps;  // BDP = 22.32 pkts
-  return p;
-}
-
-}  // namespace
-
-int main() {
-  const FluidParams p = fig2_params();
-  const double pkt = 1000.0;
-
-  std::printf("=== Fig. 2a: multiplicative decrease vs queue buildup rate "
-              "(queue fixed at 25 pkts) ===\n");
-  std::printf("%12s %14s %14s %14s\n", "rate (x bw)", "voltage-CC",
-              "gradient-CC", "power-CC");
-  for (double r = 0.0; r <= 8.01; r += 1.0) {
-    const double q = 25 * pkt;
-    const double q_dot = r * p.bandwidth_Bps;
-    std::printf("%12.0f %14.2f %14.2f %14.2f\n", r,
-                feedback_ratio(LawType::kQueueLength, p, q, q_dot,
-                               p.bandwidth_Bps),
-                feedback_ratio(LawType::kRttGradient, p, q, q_dot,
-                               p.bandwidth_Bps),
-                feedback_ratio(LawType::kPower, p, q, q_dot,
-                               p.bandwidth_Bps));
+int main(int argc, char** argv) {
+  const auto opts = harness::BenchOptions::parse(argc, argv);
+  if (opts.help) {
+    std::fputs(harness::BenchOptions::usage("bench_fig2_reaction").c_str(),
+               stdout);
+    return 0;
   }
+  if (!opts.ok) return 2;
 
-  std::printf("\n=== Fig. 2b: multiplicative decrease vs queue length "
-              "(buildup rate fixed at 1x bw) ===\n");
-  std::printf("%12s %14s %14s %14s\n", "queue (pkts)", "voltage-CC",
-              "gradient-CC", "power-CC");
-  for (double q_pkts = 0.0; q_pkts <= 60.01; q_pkts += 10.0) {
-    const double q = q_pkts * pkt;
-    const double q_dot = 1.0 * p.bandwidth_Bps;
-    std::printf("%12.0f %14.2f %14.2f %14.2f\n", q_pkts,
-                feedback_ratio(LawType::kQueueLength, p, q, q_dot,
-                               p.bandwidth_Bps),
-                feedback_ratio(LawType::kRttGradient, p, q, q_dot,
-                               p.bandwidth_Bps),
-                feedback_ratio(LawType::kPower, p, q, q_dot,
-                               p.bandwidth_Bps));
+  const harness::RunnerConfig rc = harness::fig2_runner_config();
+  std::printf("Fig. 2: reaction curves of the voltage/current/power laws\n\n");
+  harness::BenchReporter reporter("bench_fig2_reaction", opts);
+  for (auto& table : harness::run_config(rc, reporter.runner())) {
+    reporter.add(std::move(table));
   }
-
-  std::printf("\n=== Fig. 2c: three scenarios ===\n");
-  struct Case {
-    const char* desc;
-    double q_pkts;
-    double rate_x;  ///< queue buildup in multiples of bandwidth
-  };
-  const Case cases[] = {
-      {"case-1: q=50 pkts, increasing at 8x", 50, 8},
-      {"case-2: q=25 pkts, draining at max rate", 25, 0},
-      {"case-3: q=25 pkts, increasing at 8x", 25, 8},
-  };
-  std::printf("%-42s %10s %10s %10s\n", "scenario", "voltage", "current",
-              "power");
-  for (const Case& c : cases) {
-    const double q = c.q_pkts * pkt;
-    const double q_dot = c.rate_x * p.bandwidth_Bps;
-    std::printf("%-42s %10.2f %10.2f %10.2f\n", c.desc,
-                feedback_ratio(LawType::kQueueLength, p, q, q_dot,
-                               p.bandwidth_Bps),
-                feedback_ratio(LawType::kRttGradient, p, q, q_dot,
-                               p.bandwidth_Bps),
-                feedback_ratio(LawType::kPower, p, q, q_dot,
-                               p.bandwidth_Bps));
-  }
-  std::printf(
-      "\npaper: voltage 3.24/2.12/2.12 cannot separate case-2 vs case-3;\n"
-      "       current 9/1/9 cannot separate case-1 vs case-3;\n"
-      "       power separates all three.\n");
-  return 0;
+  return reporter.finish();
 }

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Schema check for telemetry CSV output (CI `telemetry-smoke`).
+
+Usage: check_telemetry_csv.py FILE.csv
+
+Validates a long-format CSV produced by `powertcp_run --telemetry
+--csv=FILE`: the canonical `table,point,metric,value` header, at least
+one `*_flight*` table carrying the five flight-recorder channels
+(qKB, power, cwndKB, paceGbps, ecn), numeric finite values, and
+strictly increasing `time=` keys within each flight table.
+
+Exit code 0 = valid, 1 = schema violation, 2 = usage/unreadable input.
+"""
+
+import csv
+import math
+import sys
+
+CHANNELS = {"qKB", "power", "cwndKB", "paceGbps", "ecn"}
+HEADER = ["table", "point", "metric", "value"]
+
+# sim::format_time units, in picoseconds.
+UNITS = {"ps": 1, "ns": 1e3, "us": 1e6, "ms": 1e9, "s": 1e12}
+
+
+def parse_time_ps(point):
+    """`time=12.500us` -> picoseconds; None if not a time key."""
+    if not point.startswith("time="):
+        return None
+    text = point[len("time="):]
+    for suffix, scale in sorted(UNITS.items(), key=lambda u: -len(u[0])):
+        if text.endswith(suffix):
+            try:
+                return float(text[:-len(suffix)]) * scale
+            except ValueError:
+                return None
+    return None
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], newline="") as f:
+            rows = list(csv.reader(f))
+    except OSError as e:
+        print(f"check_telemetry_csv: cannot read {argv[1]}: {e}",
+              file=sys.stderr)
+        return 2
+
+    errors = []
+    if not rows or rows[0] != HEADER:
+        errors.append(f"header is {rows[0] if rows else 'missing'}, "
+                      f"expected {HEADER}")
+        rows = rows[1:] if rows else []
+    else:
+        rows = rows[1:]
+
+    flights = {}  # slug -> {"channels": set, "times": [ps...]}
+    for n, row in enumerate(rows, start=2):
+        if len(row) != 4:
+            errors.append(f"line {n}: {len(row)} fields, expected 4")
+            continue
+        table, point, metric, value = row
+        if "_flight" not in table:
+            continue
+        entry = flights.setdefault(table, {"channels": set(), "times": []})
+        entry["channels"].add(metric)
+        if metric not in CHANNELS:
+            errors.append(f"line {n}: {table}: unknown channel {metric!r}")
+        try:
+            v = float(value)
+            if not math.isfinite(v):
+                raise ValueError
+        except ValueError:
+            errors.append(f"line {n}: {table}: non-finite value {value!r}")
+        t = parse_time_ps(point)
+        if t is None:
+            errors.append(f"line {n}: {table}: point {point!r} is not a "
+                          f"time= key")
+        elif metric == "qKB":  # one channel is enough to order the rows
+            entry["times"].append(t)
+
+    if not flights:
+        errors.append("no *_flight* tables found — was --telemetry passed?")
+    for slug, entry in sorted(flights.items()):
+        missing = CHANNELS - entry["channels"]
+        if missing:
+            errors.append(f"{slug}: missing channels {sorted(missing)}")
+        times = entry["times"]
+        if not times:
+            errors.append(f"{slug}: no samples")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            errors.append(f"{slug}: time keys are not strictly increasing")
+
+    if errors:
+        print(f"TELEMETRY CSV CHECK FAILED ({argv[1]}):")
+        for e in errors:
+            print(f"  - {e}")
+        return 1
+    samples = sum(len(e["times"]) for e in flights.values())
+    print(f"telemetry CSV ok: {argv[1]} ({len(flights)} flight tables, "
+          f"{samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

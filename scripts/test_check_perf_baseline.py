@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Unit tests for check_perf_baseline.py, run as a ctest by the suite.
+
+Each test synthesizes baseline/current JSON fixtures in a temp dir and
+asserts the gate's exit code: planted allocs/event regressions and
+changed event counts must fail (exit 1), wall-clock jitter inside the
+calibrated noise band must pass (exit 0), and malformed documents must
+be rejected with a usage/malformed code (exit 2), never reported as a
+clean pass.
+"""
+
+import copy
+import importlib.util
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "check_perf_baseline", os.path.join(_HERE, "check_perf_baseline.py"))
+checker = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(checker)
+
+
+def document(heap_mops=10.0, events=2000064, heap_allocs=0.0,
+             cal_allocs=0.01):
+    return {
+        "bench": "bench_event_engine",
+        "tables": [{
+            "title": "event engine throughput",
+            "slug": "event_engine",
+            "key_columns": ["workload"],
+            "value_columns": ["heap Mev/s", "calendar Mev/s", "events",
+                              "heap allocs/ev", "calendar allocs/ev"],
+            "rows": [{
+                "keys": {"workload": "dumbbell packet sim"},
+                "values": {"heap Mev/s": heap_mops,
+                           "calendar Mev/s": heap_mops * 1.1,
+                           "events": events,
+                           "heap allocs/ev": heap_allocs,
+                           "calendar allocs/ev": cal_allocs},
+            }],
+        }],
+    }
+
+
+class GateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        checker.failures.clear()
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            if isinstance(doc, str):
+                f.write(doc)
+            else:
+                json.dump(doc, f)
+        return path
+
+    def run_gate(self, baseline, *currents):
+        argv = ["check_perf_baseline.py", baseline] + list(currents)
+        # The gate prints its verdict; keep test output clean.
+        out, err = io.StringIO(), io.StringIO()
+        old = sys.stdout, sys.stderr
+        sys.stdout, sys.stderr = out, err
+        try:
+            code = checker.main(argv)
+        finally:
+            sys.stdout, sys.stderr = old
+        checker.failures.clear()
+        return code, out.getvalue() + err.getvalue()
+
+    def test_identical_runs_pass(self):
+        base = self.write("base.json", document())
+        cur = self.write("cur.json", document())
+        code, _ = self.run_gate(base, cur)
+        self.assertEqual(code, 0)
+
+    def test_planted_alloc_regression_fails(self):
+        base = self.write("base.json", document(heap_allocs=0.0))
+        cur = [self.write(f"cur{i}.json", document(heap_allocs=1.0))
+               for i in range(3)]
+        code, text = self.run_gate(base, *cur)
+        self.assertEqual(code, 1)
+        self.assertIn("heap allocs/ev", text)
+
+    def test_changed_event_count_fails(self):
+        base = self.write("base.json", document(events=2000064))
+        cur = self.write("cur.json", document(events=2000065))
+        code, text = self.run_gate(base, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("events", text)
+
+    def test_nonreproducible_deterministic_column_fails(self):
+        base = self.write("base.json", document(cal_allocs=0.01))
+        a = self.write("a.json", document(cal_allocs=0.01))
+        b = self.write("b.json", document(cal_allocs=0.02))
+        code, text = self.run_gate(base, a, b)
+        self.assertEqual(code, 1)
+        self.assertIn("not reproducible", text)
+
+    def test_wall_clock_jitter_within_band_passes(self):
+        base = self.write("base.json", document(heap_mops=10.0))
+        cur = [self.write(f"cur{i}.json", document(heap_mops=m))
+               for i, m in enumerate([8.0, 7.5, 9.0])]
+        code, _ = self.run_gate(base, *cur)
+        self.assertEqual(code, 0)
+
+    def test_wall_clock_collapse_fails(self):
+        base = self.write("base.json", document(heap_mops=10.0))
+        cur = [self.write(f"cur{i}.json", document(heap_mops=m))
+               for i, m in enumerate([2.0, 2.1, 2.05])]
+        code, text = self.run_gate(base, *cur)
+        self.assertEqual(code, 1)
+        self.assertIn("regressed", text)
+
+    def test_noisy_repeats_widen_the_band(self):
+        # Best repeat 5.5 is below the 40% floor (6.0), but the 82%
+        # spread across repeats calibrates a wider band — the gate
+        # reads the machine as noisy rather than the code as slower.
+        base = self.write("base.json", document(heap_mops=10.0))
+        noisy = [self.write(f"n{i}.json", document(heap_mops=m))
+                 for i, m in enumerate([5.5, 1.0])]
+        code, _ = self.run_gate(base, *noisy)
+        self.assertEqual(code, 0)
+        # The same 5.5 alone (no spread evidence) is a regression.
+        code, _ = self.run_gate(base, noisy[0])
+        self.assertEqual(code, 1)
+
+    def test_improvements_always_pass(self):
+        base = self.write("base.json", document(heap_mops=10.0))
+        cur = self.write("cur.json", document(heap_mops=50.0))
+        code, _ = self.run_gate(base, cur)
+        self.assertEqual(code, 0)
+
+    def test_structure_change_fails(self):
+        base = self.write("base.json", document())
+        changed = document()
+        changed["tables"][0]["rows"] = []
+        cur = self.write("cur.json", changed)
+        code, text = self.run_gate(base, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("row keys changed", text)
+
+    def test_malformed_json_rejected(self):
+        base = self.write("base.json", document())
+        cur = self.write("cur.json", "{not json")
+        code, text = self.run_gate(base, cur)
+        self.assertEqual(code, 2)
+        self.assertIn("malformed", text)
+
+    def test_missing_tables_key_rejected(self):
+        base = self.write("base.json", {"bench": "x"})
+        cur = self.write("cur.json", document())
+        code, text = self.run_gate(base, cur)
+        self.assertEqual(code, 2)
+        self.assertIn("tables", text)
+
+    def test_non_numeric_metric_rejected(self):
+        base = self.write("base.json", document())
+        broken = document()
+        broken["tables"][0]["rows"][0]["values"]["events"] = None
+        cur = self.write("cur.json", broken)
+        code, text = self.run_gate(base, cur)
+        self.assertEqual(code, 2)
+        self.assertIn("events", text)
+
+    def test_missing_row_values_rejected(self):
+        base = self.write("base.json", document())
+        broken = copy.deepcopy(document())
+        del broken["tables"][0]["rows"][0]["values"]
+        cur = self.write("cur.json", broken)
+        code, _ = self.run_gate(base, cur)
+        self.assertEqual(code, 2)
+
+    def test_usage_error(self):
+        code, _ = self.run_gate(os.path.join(self.tmp.name, "only.json"))
+        self.assertEqual(code, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

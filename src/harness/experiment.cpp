@@ -1,6 +1,7 @@
 #include "harness/experiment.hpp"
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -156,6 +157,21 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
       uplinks.push_back(&fabric.tor(t).port(p));
     }
   }
+  // Flight tap: the first ToR uplink (the load target of the sweep)
+  // plus the telemetry.flow-th planned arrival's sender, when that
+  // arrival exists and the scheme has a sender window.
+  std::optional<FlightTap> tap;
+  if (cfg.telemetry.enabled && !uplinks.empty()) {
+    host::Host* tap_host = nullptr;
+    if (!scheme.message_transport && cfg.telemetry.flow >= 1 &&
+        static_cast<std::size_t>(cfg.telemetry.flow) <= plan.size()) {
+      tap_host = &fabric.host(
+          plan[static_cast<std::size_t>(cfg.telemetry.flow - 1)].src_host);
+    }
+    tap.emplace(cfg.telemetry, simulator, *uplinks.front(), tap_host,
+                cfg.telemetry.flow, result.tau, cfg.duration);
+  }
+
   std::function<void()> sample = [&] {
     for (const auto* port : uplinks) {
       result.uplink_queue_bytes.add(
@@ -171,6 +187,7 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
   simulator.run_until(cfg.duration + sim::milliseconds(20));
 
   result.drops = fabric.total_drops();
+  if (tap) result.flight = tap->series();
   return result;
 }
 

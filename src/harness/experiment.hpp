@@ -4,6 +4,7 @@
 #include <string>
 
 #include "cc/params.hpp"
+#include "harness/telemetry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 #include "stats/fct_recorder.hpp"
@@ -56,6 +57,12 @@ struct FatTreeExperiment {
   /// (pinned by tests); the calendar queue pays off on dense paper-scale
   /// timer workloads.
   sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
+
+  /// Optional flight-recorder tap (off by default): samples the first
+  /// ToR's first uplink port and the `telemetry.flow`-th planned
+  /// arrival's sender. Read-only probes — enabling it never changes
+  /// the simulation's results (pinned by golden tests).
+  TelemetryConfig telemetry;
 };
 
 struct ExperimentResult {
@@ -65,6 +72,7 @@ struct ExperimentResult {
   std::uint64_t flows_completed = 0;
   std::uint64_t drops = 0;
   sim::TimePs tau = 0;
+  TelemetrySeries flight;  ///< empty unless cfg.telemetry.enabled
 
   double completion_rate() const {
     return flows_started == 0

@@ -6,6 +6,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "analysis/control_law.hpp"
 #include "cc/registry.hpp"
 #include "stats/fct_recorder.hpp"
 
@@ -141,6 +142,7 @@ std::unique_ptr<ScenarioConfig> load_fat_tree_kind(const ConfigFile& file,
   sc->percentile = ctx.percentile;
   sc->fat_tree.sim_queue = ctx.sim_queue;
   sc->fat_tree.seed = ctx.seed;
+  sc->fat_tree.telemetry = ctx.telemetry;
   load_fat_tree_topology(topo, &sc->fat_tree.topo, file);
   sc->loads = work.get_double_list("loads", sc->loads);
   if (sc->loads.empty()) {
@@ -173,6 +175,7 @@ std::unique_ptr<ScenarioConfig> load_incast_kind(const ConfigFile& file,
   sc->schemes = ctx.schemes;
   sc->slug_prefix = ctx.slug_prefix;
   sc->incast.sim_queue = ctx.sim_queue;
+  sc->incast.telemetry = ctx.telemetry;
   load_fat_tree_topology(topo, &sc->incast.topo, file);
   sc->query_kb = work.get_double_list("query_kb", sc->query_kb);
   sc->fan_in = work.get_double_list("fan_in", sc->fan_in);
@@ -224,6 +227,7 @@ std::unique_ptr<ScenarioConfig> load_rdcn_kind(const ConfigFile& file,
   sc->schemes = ctx.schemes;
   sc->slug_prefix = ctx.slug_prefix;
   sc->rdcn.sim_queue = ctx.sim_queue;
+  sc->rdcn.telemetry = ctx.telemetry;
   const std::string preset = topo.get_string("preset", "paper");
   if (preset == "small") {
     sc->rdcn.topo = topo::RdcnConfig::small();
@@ -297,6 +301,7 @@ std::unique_ptr<ScenarioConfig> load_dumbbell_kind(const ConfigFile& file,
   sc->slug_prefix = ctx.slug_prefix;
   DumbbellScenario& d = sc->dumbbell;
   d.sim_queue = ctx.sim_queue;
+  d.telemetry = ctx.telemetry;
   if (topo.has("host_gbps")) {
     d.topo.host_bw = sim::Bandwidth::gbps(topo.get_double("host_gbps", 0));
   }
@@ -330,6 +335,7 @@ std::unique_ptr<ScenarioConfig> load_homa_oc_kind(const ConfigFile& file,
   sc->slug_prefix = ctx.slug_prefix;
   HomaOcScenario& h = sc->homa_oc;
   h.sim_queue = ctx.sim_queue;
+  h.telemetry = ctx.telemetry;
   load_fat_tree_topology(topo, &h.incast_topo, file);
   h.overcommit = get_int_list(work, "overcommit", h.overcommit, file);
   h.fan_in = get_int_list(work, "fan_in", h.fan_in, file);
@@ -355,6 +361,37 @@ std::unique_ptr<ScenarioConfig> load_homa_oc_kind(const ConfigFile& file,
   h.burst_at = get_us(work, "burst_at_us", h.burst_at);
   h.incast_horizon = get_ms(work, "incast_horizon_ms", h.incast_horizon);
   h.incast_bin = get_us(work, "incast_bin_us", h.incast_bin);
+  return sc;
+}
+
+std::unique_ptr<ScenarioConfig> load_single_flow_kind(
+    const ConfigFile& file, SectionView& topo, SectionView& work,
+    const ScenarioContext& ctx) {
+  auto sc = std::make_unique<SingleFlowKindConfig>();
+  sc->slug_prefix = ctx.slug_prefix;
+  sc->bandwidth_gbps = topo.get_double("bandwidth_gbps", sc->bandwidth_gbps);
+  sc->bdp_packets = topo.get_double("bdp_packets", sc->bdp_packets);
+  sc->packet_kb = topo.get_double("packet_kb", sc->packet_kb);
+  if (sc->bandwidth_gbps <= 0 || sc->bdp_packets <= 0 || sc->packet_kb <= 0) {
+    throw ConfigError(file.origin() +
+                      ": [topology] bandwidth_gbps, bdp_packets and "
+                      "packet_kb must be > 0");
+  }
+  sc->hold_queue_pkts =
+      work.get_double("hold_queue_pkts", sc->hold_queue_pkts);
+  sc->hold_rate_x = work.get_double("hold_rate_x", sc->hold_rate_x);
+  sc->rate_max_x = work.get_double("rate_max", sc->rate_max_x);
+  sc->queue_max_pkts = work.get_double("queue_max_pkts", sc->queue_max_pkts);
+  sc->queue_step_pkts =
+      work.get_double("queue_step_pkts", sc->queue_step_pkts);
+  if (sc->hold_queue_pkts < 0 || sc->hold_rate_x < 0 || sc->rate_max_x < 0 ||
+      sc->queue_max_pkts < 0) {
+    throw ConfigError(file.origin() + ": [workload] values must be >= 0");
+  }
+  if (sc->queue_step_pkts <= 0) {
+    throw ConfigError(file.origin() +
+                      ": [workload] queue_step_pkts must be > 0");
+  }
   return sc;
 }
 
@@ -403,10 +440,19 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
        "fairness_bin_us, fairness_row_every, long_message_mb, burst_kb, "
        "burst_at_us, incast_horizon_ms, incast_bin_us",
        load_homa_oc_kind});
+  registry.add(
+      {"single_flow",
+       "Fig. 2 analytic reaction curves: multiplicative decrease of the "
+       "voltage/current/power laws on one bottleneck (no simulation)",
+       "bandwidth_gbps, bdp_packets, packet_kb",
+       "hold_queue_pkts, hold_rate_x, rate_max, queue_max_pkts, "
+       "queue_step_pkts",
+       load_single_flow_kind});
 }
 
 RunnerConfig load_runner_config(const ConfigFile& file,
-                                const ScenarioRegistry& registry) {
+                                const ScenarioRegistry& registry,
+                                const RunnerLoadOptions& options) {
   const ConfigFile::Section* exp_sec = file.find("experiment");
   if (exp_sec == nullptr) {
     throw ConfigError(file.origin() + ": missing [experiment] section");
@@ -439,6 +485,9 @@ RunnerConfig load_runner_config(const ConfigFile& file,
   }
   exp.finish();
 
+  ctx.telemetry = load_telemetry_config(file);
+  if (options.force_telemetry) ctx.telemetry.enabled = true;
+
   for (const auto& name : scheme_names) {
     ctx.schemes.push_back(resolve_scheme(file, name));
   }
@@ -453,7 +502,8 @@ RunnerConfig load_runner_config(const ConfigFile& file,
 
   // Reject sections the loader never looked at (typos, or [cc.X] for a
   // scheme the `schemes` list does not run).
-  std::set<std::string> known = {"experiment", "topology", "workload"};
+  std::set<std::string> known = {"experiment", "topology", "workload",
+                                 "telemetry"};
   for (const auto& name : scheme_names) known.insert("cc." + name);
   for (const auto& sec : file.sections()) {
     if (known.count(sec.name) == 0) {
@@ -478,8 +528,28 @@ std::vector<ResultTable> FatTreeKindConfig::run(
     const SweepRunner& runner) const {
   std::vector<ResultTable> tables;
   for (const double load : loads) {
-    tables.push_back(runner.run(
-        fct_sweep_spec(fat_tree, load, percentile, schemes, slug_prefix)));
+    SweepSpec spec =
+        fct_sweep_spec(fat_tree, load, percentile, schemes, slug_prefix);
+    if (!fat_tree.telemetry.enabled) {
+      tables.push_back(runner.run(spec));
+      continue;
+    }
+    // Collect per-point flight recordings by declaration index (the
+    // observe hook runs on worker threads; slots don't alias).
+    std::vector<TelemetrySeries> flights(spec.points.size());
+    spec.observe = [&flights](std::size_t i, const FatTreeExperiment&,
+                              const ExperimentResult& r) {
+      flights[i] = r.flight;
+    };
+    tables.push_back(runner.run(spec));
+    const std::string sweep_slug = tables.back().slug;
+    for (std::size_t i = 0; i < flights.size(); ++i) {
+      if (flights[i].empty()) continue;
+      tables.push_back(flight_table(
+          flights[i], sweep_slug + "_flight_" + schemes[i].display(),
+          schemes[i].display() +
+              " flight recorder (first ToR uplink + tapped flow)"));
+    }
   }
   return tables;
 }
@@ -492,8 +562,10 @@ std::vector<ResultTable> IncastKindConfig::run(
     point.query_bytes = static_cast<std::int64_t>(query_kb[i] * 1e3);
     point.fan_in =
         static_cast<int>(fan_in[fan_in.size() == 1 ? 0 : i]);
+    std::vector<ResultTable> flights;
     tables.push_back(
-        incast_figure_table(runner, point, schemes, slug_prefix));
+        incast_figure_table(runner, point, schemes, slug_prefix, &flights));
+    for (auto& f : flights) tables.push_back(std::move(f));
   }
   return tables;
 }
@@ -507,8 +579,11 @@ std::vector<ResultTable> RdcnKindConfig::run(const SweepRunner& runner) const {
                 "rack0 -> rack1 throughput / VOQ time series "
                 "(%.0fG packet plane, %.0fG circuit)",
                 packet_gbps.front(), series.topo.circuit_bw.gbps_value());
+  std::vector<ResultTable> flights;
   tables.push_back(rdcn_timeseries_table(runner, series, schemes,
-                                         slug_prefix + "_timeseries", title));
+                                         slug_prefix + "_timeseries", title,
+                                         &flights));
+  for (auto& f : flights) tables.push_back(std::move(f));
   std::snprintf(title, sizeof(title),
                 "p99 ToR queuing latency (us) vs packet bandwidth");
   tables.push_back(rdcn_latency_table(runner, rdcn, schemes, packet_gbps,
@@ -524,6 +599,94 @@ std::vector<ResultTable> DumbbellKindConfig::run(
 std::vector<ResultTable> HomaOcKindConfig::run(
     const SweepRunner& runner) const {
   return homa_oc_tables(runner, homa_oc, schemes, slug_prefix);
+}
+
+std::vector<ResultTable> SingleFlowKindConfig::run(
+    const SweepRunner&) const {
+  analysis::FluidParams p;
+  p.bandwidth_Bps = bandwidth_gbps * 1e9 / 8.0;
+  const double pkt = packet_kb * 1e3;
+  p.base_rtt_s = bdp_packets * pkt / p.bandwidth_Bps;
+  // One cell triple per bottleneck state (q, q̇): the decrease factor
+  // of each law, µ fixed at line rate as in Fig. 2.
+  const auto laws = [&](double q_bytes, double q_dot_Bps) {
+    return std::vector<Cell>{
+        Cell(analysis::feedback_ratio(analysis::LawType::kQueueLength, p,
+                                      q_bytes, q_dot_Bps, p.bandwidth_Bps),
+             2),
+        Cell(analysis::feedback_ratio(analysis::LawType::kRttGradient, p,
+                                      q_bytes, q_dot_Bps, p.bandwidth_Bps),
+             2),
+        Cell(analysis::feedback_ratio(analysis::LawType::kPower, p, q_bytes,
+                                      q_dot_Bps, p.bandwidth_Bps),
+             2)};
+  };
+
+  std::vector<ResultTable> tables;
+  char buf[128];
+  {
+    ResultTable t;
+    std::snprintf(buf, sizeof(buf),
+                  "Fig. 2a: multiplicative decrease vs queue buildup rate "
+                  "(queue fixed at %.0f pkts)",
+                  hold_queue_pkts);
+    t.title = buf;
+    t.slug = slug_prefix + "_vs_rate";
+    t.key_columns = {"rate (x bw)"};
+    t.value_columns = {"voltage-CC", "gradient-CC", "power-CC"};
+    for (double r = 0.0; r <= rate_max_x + 0.01; r += 1.0) {
+      ResultTable::Row row;
+      row.keys = {Cell(r, 0)};
+      row.values = laws(hold_queue_pkts * pkt, r * p.bandwidth_Bps);
+      t.rows.push_back(std::move(row));
+    }
+    tables.push_back(std::move(t));
+  }
+  {
+    ResultTable t;
+    std::snprintf(buf, sizeof(buf),
+                  "Fig. 2b: multiplicative decrease vs queue length "
+                  "(buildup rate fixed at %.0fx bw)",
+                  hold_rate_x);
+    t.title = buf;
+    t.slug = slug_prefix + "_vs_queue";
+    t.key_columns = {"queue (pkts)"};
+    t.value_columns = {"voltage-CC", "gradient-CC", "power-CC"};
+    for (double q = 0.0; q <= queue_max_pkts + 0.01; q += queue_step_pkts) {
+      ResultTable::Row row;
+      row.keys = {Cell(q, 0)};
+      row.values = laws(q * pkt, hold_rate_x * p.bandwidth_Bps);
+      t.rows.push_back(std::move(row));
+    }
+    tables.push_back(std::move(t));
+  }
+  {
+    // Fig. 2c: voltage cannot tell case-2 from case-3, current cannot
+    // tell case-1 from case-3; power separates all three.
+    ResultTable t;
+    t.title = "Fig. 2c: three scenarios (voltage 3.24/2.12/2.12, current "
+              "9/1/9; only power separates all three)";
+    t.slug = slug_prefix + "_three_cases";
+    t.key_columns = {"scenario"};
+    t.value_columns = {"voltage", "current", "power"};
+    const struct {
+      const char* desc;
+      double q_pkts;
+      double rate_x;  // queue buildup in multiples of bandwidth
+    } cases[] = {
+        {"case-1: q=50 pkts, increasing at 8x", 50, 8},
+        {"case-2: q=25 pkts, draining at max rate", 25, 0},
+        {"case-3: q=25 pkts, increasing at 8x", 25, 8},
+    };
+    for (const auto& c : cases) {
+      ResultTable::Row row;
+      row.keys = {Cell(std::string(c.desc))};
+      row.values = laws(c.q_pkts * pkt, c.rate_x * p.bandwidth_Bps);
+      t.rows.push_back(std::move(row));
+    }
+    tables.push_back(std::move(t));
+  }
+  return tables;
 }
 
 // ---- shared table builders ----------------------------------------
@@ -585,7 +748,8 @@ SweepSpec fct_sweep_spec(const FatTreeExperiment& base, double load,
 ResultTable incast_figure_table(const SweepRunner& runner,
                                 const IncastScenario& cfg,
                                 const std::vector<SchemeRun>& schemes,
-                                const std::string& slug_prefix) {
+                                const std::string& slug_prefix,
+                                std::vector<ResultTable>* flight_out) {
   char title[96];
   std::string slug;
   const auto burst_us =
@@ -606,7 +770,7 @@ ResultTable incast_figure_table(const SweepRunner& runner,
                   cfg.long_companions, burst_us);
     slug = slug_prefix + "_" + std::to_string(cfg.long_companions) + "to1";
   }
-  return incast_table(runner, cfg, schemes, slug, title);
+  return incast_table(runner, cfg, schemes, slug, title, flight_out);
 }
 
 // ---- figure definitions shared by benches and configs -------------
@@ -645,6 +809,16 @@ RunnerConfig fig6_runner_config(bool fast, bool full) {
   }
   RunnerConfig rc;
   rc.kind = "fat_tree";
+  rc.scenario = std::move(sc);
+  return rc;
+}
+
+RunnerConfig fig2_runner_config() {
+  auto sc = std::make_shared<SingleFlowKindConfig>();
+  sc->slug_prefix = "fig2";
+  // SingleFlowKindConfig defaults are exactly the Fig. 2 setting.
+  RunnerConfig rc;
+  rc.kind = "single_flow";
   rc.scenario = std::move(sc);
   return rc;
 }

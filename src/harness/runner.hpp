@@ -26,7 +26,8 @@
 ///   [experiment]
 ///   kind = fat_tree            # any registered scenario kind:
 ///                              # fat_tree | incast | rdcn | dumbbell
-///                              # | homa_oc  (powertcp_run --kinds)
+///                              # | homa_oc | single_flow
+///                              # (powertcp_run --kinds)
 ///   slug = fig6                # table slug prefix
 ///   schemes = powertcp, hpcc, homa
 ///   seed = 42                  # seed/percentile are part of the shared
@@ -112,13 +113,45 @@ struct HomaOcKindConfig final : ScenarioConfig {
   std::vector<ResultTable> run(const SweepRunner& runner) const override;
 };
 
+/// kind == "single_flow": Fig. 2's analytic single-flow reaction
+/// curves — the multiplicative decrease of the voltage- (queue
+/// length), current- (RTT gradient) and power-based laws on one
+/// bottleneck, from analysis::feedback_ratio. Deterministic closed
+/// forms: no simulation runs, so `[experiment] schemes/seed/
+/// percentile/sim_queue` and `[telemetry]` are carried by the file
+/// format but ignored (the documented pattern for deterministic
+/// kinds). Defaults are exactly the paper's illustrative setting
+/// (25G, BDP = 22.32 pkts of 1 KB) so the printed factors
+/// (3.24 / 2.12 / 9 / 1) come out exactly.
+struct SingleFlowKindConfig final : ScenarioConfig {
+  double bandwidth_gbps = 25.0;  ///< bottleneck b
+  double bdp_packets = 22.32;    ///< b·τ in packets (fixes τ)
+  double packet_kb = 1.0;        ///< packet size (Fig. 2's unit)
+  double hold_queue_pkts = 25;   ///< Fig. 2a's fixed queue length
+  double hold_rate_x = 1;        ///< Fig. 2b's fixed buildup rate (x bw)
+  double rate_max_x = 8;         ///< Fig. 2a sweeps 0..rate_max_x step 1
+  double queue_max_pkts = 60;    ///< Fig. 2b sweeps 0..queue_max_pkts
+  double queue_step_pkts = 10;   ///< ... in this step
+  std::string slug_prefix = "run";
+  std::vector<ResultTable> run(const SweepRunner& runner) const override;
+};
+
+/// CLI-level overrides applied on top of the parsed file.
+struct RunnerLoadOptions {
+  /// `powertcp_run --telemetry`: enable the flight recorder even when
+  /// the file has no `[telemetry] enabled = true` (file-set capacity/
+  /// period/flow keys still apply).
+  bool force_telemetry = false;
+};
+
 /// Builds a RunnerConfig from a parsed file, resolving the kind
 /// through `registry`. Throws ConfigError on unknown kinds (listing
 /// the registered ones), unknown sections/keys, unregistered schemes,
 /// or scheme params not declared by the registry entry.
 RunnerConfig load_runner_config(
     const ConfigFile& file,
-    const ScenarioRegistry& registry = ScenarioRegistry::instance());
+    const ScenarioRegistry& registry = ScenarioRegistry::instance(),
+    const RunnerLoadOptions& options = {});
 
 /// Executes every point and returns the tables in declaration order.
 /// Output is a pure function of the config: tables are identical for
@@ -136,10 +169,14 @@ SweepSpec fct_sweep_spec(const FatTreeExperiment& base, double load,
 
 /// Fig. 4-style incast table with the canonical title/slug for the
 /// (query, companions) shape; shared by bench_fig4 and the incast kind.
+/// With telemetry enabled, per-scheme flight tables land in
+/// `flight_out` (untouched otherwise).
 ResultTable incast_figure_table(const SweepRunner& runner,
                                 const IncastScenario& cfg,
                                 const std::vector<SchemeRun>& schemes,
-                                const std::string& slug_prefix);
+                                const std::string& slug_prefix,
+                                std::vector<ResultTable>* flight_out =
+                                    nullptr);
 
 /// The Fig. 5 experiment definition — what configs/fig5_quick.toml
 /// loads, so bench_fig5_fairness and `powertcp_run
@@ -156,5 +193,11 @@ RunnerConfig fig6_runner_config(bool fast, bool full);
 /// loads, so bench_fig9_homa_oc and `powertcp_run configs/fig9_oc.toml`
 /// print identical tables (pinned by test).
 RunnerConfig fig9_runner_config();
+
+/// The Fig. 2 reaction-curve definition — what
+/// configs/fig2_reaction.toml loads, so bench_fig2_reaction and
+/// `powertcp_run configs/fig2_reaction.toml` print identical tables
+/// (pinned by test).
+RunnerConfig fig2_runner_config();
 
 }  // namespace powertcp::harness

@@ -40,6 +40,9 @@ struct ScenarioContext {
   std::uint64_t seed = 1;
   double percentile = 99.0;
   sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
+  /// Parsed `[telemetry]` section (possibly forced on by the CLI);
+  /// loaders copy it into their kind's scenario config.
+  TelemetryConfig telemetry;
 };
 
 /// A parsed, runnable experiment of one scenario kind. Implementations

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 #include <stdexcept>
 
 #include "cc/registry.hpp"
@@ -33,6 +34,23 @@ int checked_remote_responders(const topo::FatTree& fabric,
         "(grow pods/tors_per_pod)");
   }
   return remote;
+}
+
+/// Appends one flight table per scheme whose result carried a
+/// recording (telemetry off leaves `flight_out` untouched).
+template <typename Result>
+void append_flight_tables(std::vector<ResultTable>* flight_out,
+                          const std::vector<Result>& results,
+                          const std::vector<SchemeRun>& schemes,
+                          const std::string& slug_prefix,
+                          const std::string& tap_desc) {
+  if (flight_out == nullptr) return;
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    if (results[i].flight.empty()) continue;
+    flight_out->push_back(flight_table(
+        results[i].flight, slug_prefix + "_flight_" + schemes[i].display(),
+        schemes[i].display() + " flight recorder (" + tap_desc + ")"));
+  }
 }
 
 }  // namespace
@@ -138,6 +156,17 @@ IncastSeries run_incast_scenario(const IncastScenario& cfg,
     }
   }
 
+  // The flight tap watches the same bottleneck the queue monitor does,
+  // plus the long foreground flow's sender (message transports have no
+  // sender window; those channels read 0).
+  std::optional<FlightTap> tap;
+  if (cfg.telemetry.enabled) {
+    tap.emplace(cfg.telemetry, simulator,
+                fabric.tor(0).port(fabric.tor_down_port(receiver)),
+                scheme.message_transport ? nullptr : &fabric.host(long_sender),
+                1, params.base_rtt, cfg.horizon);
+  }
+
   simulator.run_until(cfg.horizon);
 
   IncastSeries out;
@@ -148,12 +177,14 @@ IncastSeries run_incast_scenario(const IncastScenario& cfg,
         static_cast<double>(queue.at(goodput.bin_start(b) + cfg.bin / 2)) /
         1e3);
   }
+  if (tap) out.flight = tap->series();
   return out;
 }
 
 ResultTable incast_table(const SweepRunner& runner, const IncastScenario& cfg,
                          const std::vector<SchemeRun>& schemes,
-                         const std::string& slug, const std::string& title) {
+                         const std::string& slug, const std::string& title,
+                         std::vector<ResultTable>* flight_out) {
   std::vector<std::function<IncastSeries()>> jobs;
   jobs.reserve(schemes.size());
   for (const auto& s : schemes) {
@@ -179,6 +210,8 @@ ResultTable incast_table(const SweepRunner& runner, const IncastScenario& cfg,
     }
     t.rows.push_back(std::move(row));
   }
+  append_flight_tables(flight_out, rows, schemes, slug,
+                       "receiver ToR downlink + long flow");
   return t;
 }
 
@@ -233,6 +266,17 @@ RdcnResult run_rdcn_scenario(const RdcnScenario& cfg,
                             0);
   }
 
+  // Flight tap: ToR-0's circuit port (the VOQ the paper plots) plus
+  // the telemetry.flow-th rack-0 flow, clamped to the rack.
+  std::optional<FlightTap> tap;
+  if (cfg.telemetry.enabled) {
+    const auto idx = static_cast<int>(
+        std::min<std::int64_t>(cfg.telemetry.flow, cfg.topo.servers_per_tor));
+    tap.emplace(cfg.telemetry, simulator,
+                rdcn.tor(0).port(rdcn.tor(0).circuit_port_index()),
+                &rdcn.host(idx - 1), idx, params.base_rtt, cfg.horizon);
+  }
+
   simulator.run_until(cfg.horizon);
 
   RdcnResult out;
@@ -253,6 +297,7 @@ RdcnResult run_rdcn_scenario(const RdcnScenario& cfg,
         day_bytes * 8.0 / day_secs / cfg.topo.circuit_bw.bps();
   }
   if (!sojourns_us.empty()) out.p99_sojourn_us = sojourns_us.percentile(99);
+  if (tap) out.flight = tap->series();
   return out;
 }
 
@@ -260,7 +305,8 @@ ResultTable rdcn_timeseries_table(const SweepRunner& runner,
                                   const RdcnScenario& cfg,
                                   const std::vector<SchemeRun>& schemes,
                                   const std::string& slug,
-                                  const std::string& title) {
+                                  const std::string& title,
+                                  std::vector<ResultTable>* flight_out) {
   std::vector<std::function<RdcnResult()>> jobs;
   jobs.reserve(schemes.size());
   for (const auto& s : schemes) {
@@ -294,6 +340,8 @@ ResultTable rdcn_timeseries_table(const SweepRunner& runner,
     util.values.push_back(Cell());
   }
   t.rows.push_back(std::move(util));
+  append_flight_tables(flight_out, results, schemes, slug,
+                       "ToR-0 circuit port + tapped rack-0 flow");
   return t;
 }
 
@@ -355,6 +403,17 @@ DumbbellSeries run_dumbbell_scenario(const DumbbellScenario& cfg,
     }
   }
 
+  // Flight tap: the shared bottleneck plus the telemetry.flow-th flow
+  // (sender flow-1), clamped to the flow count.
+  std::optional<FlightTap> tap;
+  if (cfg.telemetry.enabled) {
+    const auto idx = static_cast<int>(
+        std::min<std::int64_t>(cfg.telemetry.flow, n_flows));
+    tap.emplace(cfg.telemetry, simulator, topo.bottleneck_port(),
+                scheme.message_transport ? nullptr : &topo.sender(idx - 1),
+                idx, params.base_rtt, cfg.horizon);
+  }
+
   simulator.run_until(cfg.horizon);
 
   DumbbellSeries out;
@@ -371,6 +430,7 @@ DumbbellSeries run_dumbbell_scenario(const DumbbellScenario& cfg,
       out.gbps[f].push_back(series[f].gbps(b));
     }
   }
+  if (tap) out.flight = tap->series();
   return out;
 }
 
@@ -411,6 +471,11 @@ std::vector<ResultTable> dumbbell_fairness_tables(
     const std::string name = schemes[i].display();
     tables.push_back(dumbbell_series_table(results[i], slug_prefix + "_" + name,
                                            name + " (Gbps per flow)"));
+    if (!results[i].flight.empty()) {
+      tables.push_back(flight_table(
+          results[i].flight, slug_prefix + "_" + name + "_flight",
+          name + " flight recorder (bottleneck port + tapped flow)"));
+    }
   }
   return tables;
 }
@@ -463,12 +528,22 @@ HomaOcIncastResult run_homa_oc_incast(const HomaOcScenario& cfg,
       h.homa()->send_message(fid, fabric.host_node(receiver), burst_bytes);
     });
   }
+  // Flight tap on the contended downlink; Homa has no sender window,
+  // so the flow channels read 0 (no flow host to tap).
+  std::optional<FlightTap> tap;
+  if (cfg.telemetry.enabled) {
+    tap.emplace(cfg.telemetry, simulator,
+                fabric.tor(0).port(fabric.tor_down_port(receiver)), nullptr, 1,
+                params.base_rtt, cfg.incast_horizon);
+  }
+
   simulator.run_until(cfg.incast_horizon);
 
   HomaOcIncastResult out;
   out.peak_queue_kb = static_cast<double>(queue.max_bytes()) / 1e3;
   out.drops = fabric.total_drops();
   out.mean_goodput_gbps = goodput.mean_gbps(0, goodput.bin_count());
+  if (tap) out.flight = tap->series();
   return out;
 }
 
@@ -498,6 +573,7 @@ std::vector<ResultTable> homa_oc_tables(const SweepRunner& runner,
 
   DumbbellScenario fairness = cfg.fairness;
   fairness.sim_queue = cfg.sim_queue;
+  fairness.telemetry = cfg.telemetry;
   std::vector<std::function<DumbbellSeries()>> fairness_jobs;
   fairness_jobs.reserve(schemes.size() * cfg.overcommit.size());
   std::vector<std::function<HomaOcIncastResult()>> incast_jobs;
@@ -538,11 +614,19 @@ std::vector<ResultTable> homa_oc_tables(const SweepRunner& runner,
   for (const auto& s : schemes) {
     const std::string name = s.display();
     for (const int oc : cfg.overcommit) {
+      const DumbbellSeries& r = fairness_results[fairness_at++];
+      const std::string point =
+          slug_prefix + "_" + name + "_oc" + std::to_string(oc);
       tables.push_back(dumbbell_series_table(
-          fairness_results[fairness_at++],
-          slug_prefix + "_" + name + "_oc" + std::to_string(oc),
+          r, point,
           name + " fairness, overcommitment " + std::to_string(oc) +
               " (Gbps per flow)"));
+      if (!r.flight.empty()) {
+        tables.push_back(flight_table(
+            r.flight, point + "_flight",
+            name + " oc" + std::to_string(oc) +
+                " flight recorder (bottleneck port)"));
+      }
     }
     for (const int fan : cfg.fan_in) {
       ResultTable t;
@@ -553,6 +637,7 @@ std::vector<ResultTable> homa_oc_tables(const SweepRunner& runner,
                "to1";
       t.key_columns = {"oc"};
       t.value_columns = {"peakQ(KB)", "drops", "goodput(Gbps)"};
+      std::vector<ResultTable> flights;
       for (const int oc : cfg.overcommit) {
         const HomaOcIncastResult& r = incast_results[incast_at++];
         ResultTable::Row row;
@@ -561,8 +646,15 @@ std::vector<ResultTable> homa_oc_tables(const SweepRunner& runner,
                       Cell::integer(static_cast<std::int64_t>(r.drops)),
                       Cell(r.mean_goodput_gbps, 1)};
         t.rows.push_back(std::move(row));
+        if (!r.flight.empty()) {
+          flights.push_back(flight_table(
+              r.flight, t.slug + "_oc" + std::to_string(oc) + "_flight",
+              name + " " + std::to_string(fan) + ":1 oc" + std::to_string(oc) +
+                  " flight recorder (receiver ToR downlink)"));
+        }
       }
       tables.push_back(std::move(t));
+      for (auto& f : flights) tables.push_back(std::move(f));
     }
   }
   return tables;
@@ -583,6 +675,9 @@ ResultTable rdcn_latency_table(const SweepRunner& runner,
     for (const double gbps : packet_gbps) {
       RdcnScenario point = cfg;
       point.topo.packet_bw = sim::Bandwidth::gbps(gbps);
+      // Telemetry rides the timeseries panel only; this summary sweep
+      // has nowhere to put per-point recordings.
+      point.telemetry.enabled = false;
       jobs.push_back([point, s] { return run_rdcn_scenario(point, s); });
     }
   }

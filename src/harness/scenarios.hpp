@@ -6,6 +6,7 @@
 
 #include "cc/params.hpp"
 #include "harness/sweep.hpp"
+#include "harness/telemetry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 #include "topo/dumbbell.hpp"
@@ -49,12 +50,16 @@ struct IncastScenario {
   sim::TimePs bin = sim::microseconds(50);
   /// Event-queue backend; results are backend-independent.
   sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
+  /// Optional flight recorder on the receiver's ToR downlink + the
+  /// long foreground flow.
+  TelemetryConfig telemetry;
 };
 
 /// Receiver goodput and bottleneck ToR-downlink queue, one bin each.
 struct IncastSeries {
   std::vector<double> gbps;
   std::vector<double> queue_kb;
+  TelemetrySeries flight;  ///< empty unless telemetry.enabled
 };
 
 IncastSeries run_incast_scenario(const IncastScenario& cfg,
@@ -65,7 +70,8 @@ IncastSeries run_incast_scenario(const IncastScenario& cfg,
 /// thread count.
 ResultTable incast_table(const SweepRunner& runner, const IncastScenario& cfg,
                          const std::vector<SchemeRun>& schemes,
-                         const std::string& slug, const std::string& title);
+                         const std::string& slug, const std::string& title,
+                         std::vector<ResultTable>* flight_out = nullptr);
 
 /// Fig. 8: rack0's servers stream to rack1 across the RDCN while the
 /// rotor schedule connects and disconnects them.
@@ -77,6 +83,9 @@ struct RdcnScenario {
   sim::TimePs bin = sim::microseconds(50);
   /// Event-queue backend; results are backend-independent.
   sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
+  /// Optional flight recorder on ToR-0's circuit port + the
+  /// `telemetry.flow`-th rack-0 flow.
+  TelemetryConfig telemetry;
 };
 
 struct RdcnResult {
@@ -84,6 +93,7 @@ struct RdcnResult {
   std::vector<double> voq_kb;  ///< ToR-0 VOQ backlog per bin
   double p99_sojourn_us = 0;   ///< ToR-0 queuing latency tail
   double circuit_utilization = 0;  ///< day-time goodput / circuit rate
+  TelemetrySeries flight;  ///< empty unless telemetry.enabled
 };
 
 RdcnResult run_rdcn_scenario(const RdcnScenario& cfg,
@@ -95,7 +105,9 @@ ResultTable rdcn_timeseries_table(const SweepRunner& runner,
                                   const RdcnScenario& cfg,
                                   const std::vector<SchemeRun>& schemes,
                                   const std::string& slug,
-                                  const std::string& title);
+                                  const std::string& title,
+                                  std::vector<ResultTable>* flight_out =
+                                      nullptr);
 
 /// Fig. 8b-style table: one row per scheme, p99 ToR queuing latency at
 /// each packet-plane bandwidth in `packet_gbps`.
@@ -121,6 +133,9 @@ struct DumbbellScenario {
   int row_stride = 4;
   /// Event-queue backend; results are backend-independent.
   sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
+  /// Optional flight recorder on the bottleneck port + the
+  /// `telemetry.flow`-th flow (sender flow-1).
+  TelemetryConfig telemetry;
 };
 
 /// Per-flow receiver goodput, one sampled row per table line.
@@ -128,6 +143,7 @@ struct DumbbellSeries {
   std::vector<sim::TimePs> bin_start;
   /// gbps[flow][row]; one entry per flow in DumbbellScenario order.
   std::vector<std::vector<double>> gbps;
+  TelemetrySeries flight;  ///< empty unless telemetry.enabled
 };
 
 DumbbellSeries run_dumbbell_scenario(const DumbbellScenario& cfg,
@@ -171,6 +187,10 @@ struct HomaOcScenario {
   sim::TimePs incast_bin = sim::microseconds(100);
   /// Event-queue backend, applied to both panels.
   sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
+  /// Optional flight recorder, applied to both panels (the incast
+  /// panel taps the receiver's ToR downlink; message transports have
+  /// no sender window, so cwnd/pace read 0 there).
+  TelemetryConfig telemetry;
 };
 
 /// One incast reaction at one (overcommit via scheme params, fan_in)
@@ -180,6 +200,7 @@ struct HomaOcIncastResult {
   double peak_queue_kb = 0;
   std::uint64_t drops = 0;
   double mean_goodput_gbps = 0;
+  TelemetrySeries flight;  ///< empty unless telemetry.enabled
 };
 
 HomaOcIncastResult run_homa_oc_incast(const HomaOcScenario& cfg,
@@ -192,5 +213,12 @@ std::vector<ResultTable> homa_oc_tables(const SweepRunner& runner,
                                         const HomaOcScenario& cfg,
                                         const std::vector<SchemeRun>& schemes,
                                         const std::string& slug_prefix);
+
+/// Renders one finalized flight recording as a time-keyed table (the
+/// shared q/power/cwnd/pace/ecn channel schema; see telemetry.hpp).
+/// Returns an empty-rowed table for an empty series; callers skip
+/// those. Defined in telemetry.cpp.
+ResultTable flight_table(const TelemetrySeries& series,
+                         const std::string& slug, const std::string& title);
 
 }  // namespace powertcp::harness

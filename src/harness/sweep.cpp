@@ -266,6 +266,7 @@ ResultTable SweepRunner::run(const SweepSpec& spec) const {
     const SweepPoint& p = spec.points[i];
     const ExperimentResult result = run_fat_tree_experiment(p.cfg);
     table.rows[i] = ResultTable::Row{p.keys, spec.metrics(p.cfg, result)};
+    if (spec.observe) spec.observe(i, p.cfg, result);
   });
   return table;
 }

@@ -107,6 +107,14 @@ struct SweepSpec {
   std::function<std::vector<Cell>(const FatTreeExperiment&,
                                   const ExperimentResult&)>
       metrics;
+  /// Optional per-point hook, called on the worker thread after
+  /// `metrics` with the point's declaration index. Same thread-safety
+  /// contract as metrics, except indices partition the work: writing
+  /// slot i of a caller-owned vector is race-free. The telemetry path
+  /// uses this to collect per-point flight recordings.
+  std::function<void(std::size_t, const FatTreeExperiment&,
+                     const ExperimentResult&)>
+      observe;
 };
 
 class SweepRunner {

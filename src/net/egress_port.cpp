@@ -107,12 +107,16 @@ void EgressPort::maybe_mark_ecn(Packet& pkt) const {
   if (q <= ecn_.kmin_bytes) return;
   if (q >= ecn_.kmax_bytes) {
     pkt.ecn_marked = true;
+    ++ecn_marks_;
     return;
   }
   const double span = static_cast<double>(ecn_.kmax_bytes - ecn_.kmin_bytes);
   const double p =
       ecn_.pmax * static_cast<double>(q - ecn_.kmin_bytes) / span;
-  if (ecn_rng_.uniform() < p) pkt.ecn_marked = true;
+  if (ecn_rng_.uniform() < p) {
+    pkt.ecn_marked = true;
+    ++ecn_marks_;
+  }
 }
 
 void EgressPort::sample_queue() {

@@ -75,6 +75,9 @@ class EgressPort {
   std::int64_t tx_bytes() const { return tx_bytes_; }
   std::uint64_t tx_packets() const { return tx_packets_; }
   std::uint64_t drops() const { return drops_; }
+  /// Cumulative packets ECN-marked by this port (step or RED draw) —
+  /// a flight-recorder tap point.
+  std::uint64_t ecn_marks() const { return ecn_marks_; }
   bool busy() const { return busy_; }
 
   /// Optional monitoring hooks (not owned).
@@ -119,6 +122,7 @@ class EgressPort {
 
   EcnConfig ecn_;
   mutable sim::Rng ecn_rng_{0x9E3779B97F4A7C15ull};
+  mutable std::uint64_t ecn_marks_ = 0;
   bool int_enabled_ = false;
   DtSharedBuffer* shared_buffer_ = nullptr;
 

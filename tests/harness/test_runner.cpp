@@ -179,10 +179,60 @@ TEST(RunnerGolden, Fig9ConfigMatchesBench) {
             render_all(run_config(reduced(b), runner)));
 }
 
+/// configs/fig2_reaction.toml loads the exact analytic curves
+/// bench_fig2_reaction prints; both are cheap closed forms, so the
+/// golden equivalence executes BOTH at full scale and compares every
+/// byte. The paper's printed disambiguation numbers (voltage
+/// 3.24/2.12/2.12, current 9/1/9) are pinned alongside.
+TEST(RunnerGolden, Fig2ConfigMatchesBench) {
+  const RunnerConfig from_config = load_shipped_config("fig2_reaction.toml");
+  const RunnerConfig from_bench = fig2_runner_config();
+  EXPECT_EQ(from_config.kind, "single_flow");
+  EXPECT_EQ(from_config.kind, from_bench.kind);
+  const SingleFlowKindConfig& a = as_kind<SingleFlowKindConfig>(from_config);
+  const SingleFlowKindConfig& b = as_kind<SingleFlowKindConfig>(from_bench);
+  EXPECT_EQ(a.slug_prefix, b.slug_prefix);
+  EXPECT_DOUBLE_EQ(a.bandwidth_gbps, b.bandwidth_gbps);
+  EXPECT_DOUBLE_EQ(a.bdp_packets, b.bdp_packets);
+  EXPECT_DOUBLE_EQ(a.packet_kb, b.packet_kb);
+  EXPECT_DOUBLE_EQ(a.hold_queue_pkts, b.hold_queue_pkts);
+  EXPECT_DOUBLE_EQ(a.hold_rate_x, b.hold_rate_x);
+  EXPECT_DOUBLE_EQ(a.rate_max_x, b.rate_max_x);
+  EXPECT_DOUBLE_EQ(a.queue_max_pkts, b.queue_max_pkts);
+  EXPECT_DOUBLE_EQ(a.queue_step_pkts, b.queue_step_pkts);
+
+  const SweepRunner runner(2);
+  const auto tables = run_config(from_bench, runner);
+  EXPECT_EQ(render_all(run_config(from_config, runner)),
+            render_all(tables));
+
+  // The three panels, by slug...
+  ASSERT_EQ(tables.size(), 3u);
+  EXPECT_EQ(tables[0].slug, "fig2_vs_rate");
+  EXPECT_EQ(tables[1].slug, "fig2_vs_queue");
+  EXPECT_EQ(tables[2].slug, "fig2_three_cases");
+  // ...and Fig. 2c's paper numbers: voltage 3.24/2.12/2.12 cannot
+  // separate case-2 vs case-3, current 9/1/9 cannot separate case-1
+  // vs case-3, power (29.16/2.12/19.08) separates all three.
+  const ResultTable& c = tables[2];
+  ASSERT_EQ(c.rows.size(), 3u);
+  const char* expected[3][3] = {{"3.24", "9.00", "29.16"},
+                                {"2.12", "1.00", "2.12"},
+                                {"2.12", "9.00", "19.08"}};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(c.rows[i].values.size(), 3u);
+    for (int v = 0; v < 3; ++v) {
+      EXPECT_EQ(c.rows[i].values[v].render(), expected[i][v])
+          << "case " << i + 1 << " column " << c.value_columns[v];
+    }
+  }
+}
+
 TEST(RunnerGolden, ShippedConfigsAllLoad) {
   for (const char* name :
-       {"fig4_quick.toml", "fig5_quick.toml", "fig6_quick.toml",
-        "fig7_load_sweep.toml", "fig8_quick.toml", "fig9_oc.toml"}) {
+       {"fig2_reaction.toml", "fig4_quick.toml", "fig5_quick.toml",
+        "fig6_quick.toml", "fig7_load_sweep.toml", "fig8_quick.toml",
+        "fig9_oc.toml"}) {
     EXPECT_NO_THROW(load_shipped_config(name)) << name;
   }
 }

@@ -16,6 +16,7 @@
 #include <new>
 
 #include "cc/factory.hpp"
+#include "harness/telemetry.hpp"
 #include "host/host.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
@@ -155,6 +156,49 @@ TEST(Allocations, SteadyStatePacketEventsAreAllocationFree) {
   EXPECT_EQ(allocs, 0u) << "heap allocations per steady-state event: "
                         << static_cast<double>(allocs) /
                                static_cast<double>(events);
+}
+
+TEST(Allocations, FlightRecorderSamplingIsAllocationFree) {
+  // The telemetry pledge: an armed FlightTap adds ZERO heap
+  // allocations per sample to the steady-state packet path — all its
+  // storage is acquired at construction. The measurement window spans
+  // many samples AND at least one ring wrap (capacity 64 at 1us
+  // period inside a 2ms window), so the 2:1 downsampling compaction
+  // is pinned allocation-free too.
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  topo::DumbbellConfig cfg;
+  cfg.n_senders = 2;
+  topo::Dumbbell topo(network, cfg);
+
+  cc::FlowParams params;
+  params.host_bw = cfg.host_bw;
+  params.base_rtt = topo.base_rtt();
+  params.expected_flows = 2;
+  const cc::CcFactory factory = cc::make_factory("powertcp");
+  topo.sender(0).start_flow(1, topo.receiver().id(), 1'000'000'000,
+                            factory(params), params, 0);
+  topo.sender(1).start_flow(2, topo.receiver().id(), 1'000'000'000,
+                            factory(params), params, 0);
+
+  harness::TelemetryConfig tcfg;
+  tcfg.enabled = true;
+  tcfg.capacity = 64;
+  tcfg.sample_every = sim::microseconds(1);
+  harness::FlightTap tap(tcfg, simulator, topo.bottleneck_port(),
+                         &topo.sender(0), 1, topo.base_rtt(),
+                         sim::milliseconds(4));
+
+  simulator.run_until(sim::milliseconds(2));  // warm up, wrap the ring
+  const std::uint64_t before = allocations();
+  simulator.run_until(sim::milliseconds(4));
+  EXPECT_EQ(allocations() - before, 0u)
+      << "flight-recorder sampling must not touch the heap";
+
+  const harness::TelemetrySeries series = tap.series();
+  EXPECT_FALSE(series.empty());
+  EXPECT_GE(series.time.size(), 32u);
+  ASSERT_EQ(series.channels.size(), 5u);
 }
 
 }  // namespace

@@ -1,0 +1,165 @@
+/// FlightRecorder property tests: for arbitrary (capacity, offered
+/// tick count) combinations the bounded buffer must keep its
+/// invariants — first/last offered samples preserved, strictly
+/// monotone timestamps, size bounded by capacity, and a stored set
+/// that is exactly the stride-decimated subset of the offered ticks.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/flight_recorder.hpp"
+#include "sim/simulator.hpp"
+
+namespace powertcp {
+namespace {
+
+/// Offers `n` ticks at a fixed period carrying value = tick index,
+/// finalizes, and returns the recorder for inspection.
+void offer_ticks(sim::FlightRecorder& rec, std::uint64_t n,
+                 sim::TimePs period, double* counter) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    *counter = static_cast<double>(i);
+    rec.tick(static_cast<sim::TimePs>(i) * period);
+  }
+  rec.finalize();
+}
+
+TEST(FlightRecorder, StoresEverySampleUntilFull) {
+  double v = 0;
+  sim::FlightRecorder rec(64);
+  rec.add_channel("v", [&v] { return v; });
+  offer_ticks(rec, 64, sim::microseconds(10), &v);
+  ASSERT_EQ(rec.size(), 64u);
+  EXPECT_EQ(rec.stride(), 1u);
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    EXPECT_EQ(rec.time(i), static_cast<sim::TimePs>(i) * sim::microseconds(10));
+    EXPECT_EQ(rec.value(0, i), static_cast<double>(i));
+  }
+}
+
+TEST(FlightRecorder, WrapDownsamplesTwoToOne) {
+  double v = 0;
+  sim::FlightRecorder rec(64);
+  rec.add_channel("v", [&v] { return v; });
+  // One tick past capacity: the buffer compacts once and the stride
+  // doubles; stored ticks are exactly the even offered indices.
+  offer_ticks(rec, 65, sim::microseconds(10), &v);
+  EXPECT_EQ(rec.stride(), 2u);
+  ASSERT_EQ(rec.size(), 33u);
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    EXPECT_EQ(rec.value(0, i), static_cast<double>(2 * i));
+  }
+}
+
+TEST(FlightRecorder, PropertyInvariantsOverRandomShapes) {
+  std::mt19937_64 rng(20260808);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t capacity = 2 + rng() % 96;
+    const std::uint64_t offered = 1 + rng() % 4096;
+    const sim::TimePs period =
+        static_cast<sim::TimePs>(1 + rng() % 1000) * sim::nanoseconds(100);
+
+    sim::FlightRecorder rec(capacity);
+    double v = 0;
+    rec.add_channel("v", [&v] { return v; });
+    offer_ticks(rec, offered, period, &v);
+
+    // Bounded: capacity is rounded up to even, +1 for the finalize
+    // append of the last offered sample.
+    EXPECT_LE(rec.size(), capacity + 1 + capacity % 2);
+    ASSERT_GE(rec.size(), 1u);
+
+    // First and last offered samples survive every compaction.
+    EXPECT_EQ(rec.time(0), 0);
+    EXPECT_EQ(rec.value(0, 0), 0.0);
+    EXPECT_EQ(rec.time(rec.size() - 1),
+              static_cast<sim::TimePs>(offered - 1) * period);
+    EXPECT_EQ(rec.value(0, rec.size() - 1), static_cast<double>(offered - 1));
+
+    // Strictly monotone timestamps, and every stored sample is a real
+    // offered one (value == tick index, time == index * period).
+    for (std::size_t i = 0; i < rec.size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(rec.time(i - 1), rec.time(i));
+      }
+      const auto idx = static_cast<std::uint64_t>(rec.value(0, i));
+      EXPECT_EQ(rec.time(i), static_cast<sim::TimePs>(idx) * period);
+    }
+
+    // All but the finalize()-appended tail sample sit on the final
+    // stride grid with uniform spacing.
+    for (std::size_t i = 0; i + 2 < rec.size(); ++i) {
+      EXPECT_EQ(rec.time(i + 1) - rec.time(i),
+                static_cast<sim::TimePs>(rec.stride()) * period);
+    }
+  }
+}
+
+TEST(FlightRecorder, MultiChannelRowsShareTimestamps) {
+  sim::FlightRecorder rec(16);
+  double a = 0, b = 0;
+  rec.add_channel("a", [&a] { return a; });
+  rec.add_channel("b", [&b] { return b; });
+  for (int i = 0; i < 100; ++i) {
+    a = i;
+    b = 10.0 * i;
+    rec.tick(sim::microseconds(i));
+  }
+  rec.finalize();
+  ASSERT_EQ(rec.channel_count(), 2u);
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    EXPECT_EQ(rec.value(1, i), 10.0 * rec.value(0, i))
+        << "channels sampled at different ticks";
+  }
+}
+
+TEST(FlightRecorder, FinalizeIsIdempotentAndPreservesShortSeries) {
+  sim::FlightRecorder rec(8);
+  double v = 3.5;
+  rec.add_channel("v", [&v] { return v; });
+  rec.tick(0);
+  rec.finalize();
+  rec.finalize();
+  ASSERT_EQ(rec.size(), 1u);  // single sample: no duplicate tail
+  EXPECT_EQ(rec.value(0, 0), 3.5);
+}
+
+TEST(FlightRecorder, ArmedTicksTrackSimulationTime) {
+  sim::Simulator s;
+  std::int64_t q = 0;
+  sim::FlightRecorder rec(32);
+  rec.add_channel("q", [&q] { return static_cast<double>(q); });
+  rec.arm(s, sim::microseconds(5), sim::microseconds(100));
+  // Mutate the probed state mid-run; samples must reflect sim time.
+  s.schedule_at(sim::microseconds(42), [&q] { q = 7; });
+  s.run_until(sim::microseconds(200));
+  rec.finalize();
+  ASSERT_EQ(rec.size(), 21u);  // t = 0, 5us, ..., 100us
+  EXPECT_EQ(rec.time(rec.size() - 1), sim::microseconds(100));
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    EXPECT_EQ(rec.value(0, i), rec.time(i) >= sim::microseconds(42) ? 7 : 0);
+  }
+}
+
+TEST(FlightRecorder, RejectsInvalidSetup) {
+  EXPECT_THROW(sim::FlightRecorder(1), std::invalid_argument);
+  // The simulator must outlive the armed recorder (~FlightRecorder
+  // cancels its pending tick), so it is declared first.
+  sim::Simulator s;
+  sim::FlightRecorder rec(8);
+  EXPECT_THROW(rec.add_channel("broken", {}), std::invalid_argument);
+  rec.add_channel("v", [] { return 0.0; });
+  rec.tick(0);
+  EXPECT_THROW(rec.add_channel("late", [] { return 0.0; }),
+               std::logic_error);
+  EXPECT_THROW(rec.arm(s, 0, sim::microseconds(1)), std::invalid_argument);
+  rec.arm(s, sim::microseconds(1), sim::microseconds(2));
+  EXPECT_THROW(rec.arm(s, sim::microseconds(1), sim::microseconds(2)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace powertcp

@@ -33,6 +33,9 @@ const char* kUsage =
     "               (results are identical for every N)\n"
     "  --csv=FILE   append long-format CSV rows (table,point,metric,value)\n"
     "  --json=FILE  write all result tables as one JSON document\n"
+    "  --telemetry  arm the flight recorder even when the config has no\n"
+    "               [telemetry] enabled = true (adds *_flight tables;\n"
+    "               never changes the other tables' values)\n"
     "  --schemes    list registered schemes, their tunables and\n"
     "               topology needs, then exit\n"
     "  --kinds      list registered scenario kinds and their\n"
@@ -95,6 +98,7 @@ bool take_value(const char* arg, const char* flag, std::string* out) {
 
 int main(int argc, char** argv) {
   harness::BenchOptions opts;
+  harness::RunnerLoadOptions load_opts;
   std::vector<std::string> configs;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -112,6 +116,8 @@ int main(int argc, char** argv) {
       opts.csv_path = value;
     } else if (take_value(arg, "--json", &value)) {
       opts.json_path = value;
+    } else if (std::strcmp(arg, "--telemetry") == 0) {
+      load_opts.force_telemetry = true;
     } else if (std::strcmp(arg, "--schemes") == 0) {
       list_schemes();
       return 0;
@@ -139,7 +145,8 @@ int main(int argc, char** argv) {
   for (const auto& path : configs) {
     try {
       const auto file = harness::ConfigFile::parse_file(path);
-      const auto cfg = harness::load_runner_config(file);
+      const auto cfg = harness::load_runner_config(
+          file, harness::ScenarioRegistry::instance(), load_opts);
       for (auto& table : harness::run_config(cfg, reporter.runner())) {
         reporter.add(std::move(table));
       }
