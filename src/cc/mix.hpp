@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file mix.hpp
+/// Per-host congestion-control mixes: the brownfield-coexistence axis.
+///
+/// A mix spec like `dctcp:0.5+powertcp:0.5` names registry schemes with
+/// fractional host weights. The harness resolves each member through
+/// cc::Registry into its own FlowCcFactory and assigns *hosts* (not
+/// flows) to members deterministically from the experiment seed —
+/// modelling a rollout where some machines run the incumbent stack and
+/// some the new one, all sharing the same fabric and AQM.
+///
+/// Members are separated by `+` or `,`: config lists split on commas,
+/// so a mix inside a swept list uses `+` (`cc_mix = "dctcp+powertcp,
+/// powertcp"` sweeps a 50/50 mix against a homogeneous cell).
+
+namespace powertcp::cc {
+
+/// One scheme in a mix. `label` is a scheme-run label (a registry name,
+/// or a config-defined `[cc.<label>]` alias carrying parameters);
+/// `weight` is the normalized share of hosts, in (0, 1].
+struct MixMember {
+  std::string label;
+  double weight = 1.0;
+};
+
+/// Parses `name[:weight]` members separated by `+` or `,`. Omitted
+/// weights default to 1 before normalization, so `dctcp+powertcp` is a
+/// 50/50 split. Throws std::invalid_argument on an empty spec, an
+/// empty member name, a duplicate name, or a weight that is not a
+/// finite positive number. Weights are normalized to sum to 1.
+std::vector<MixMember> parse_cc_mix(const std::string& spec);
+
+/// Canonical display form, `dctcp:0.50+powertcp:0.50` — stable across
+/// equivalent input spellings, used as the table key for a mix cell.
+std::string mix_display(const std::vector<MixMember>& mix);
+
+/// Assigns `n_hosts` hosts to mix members: exact largest-remainder
+/// quotas per member (every weight gets its fair floor, leftover hosts
+/// go to the largest fractional remainders, ties broken by member
+/// order), then a Fisher–Yates shuffle seeded by `seed` so member
+/// blocks do not correlate with host index. Returns one member index
+/// per host. Deterministic: a pure function of (mix, n_hosts, seed).
+std::vector<int> mix_assignment(const std::vector<MixMember>& mix,
+                                int n_hosts, std::uint64_t seed);
+
+}  // namespace powertcp::cc

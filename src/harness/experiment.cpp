@@ -41,14 +41,41 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
   // The registry entry carries everything scheme-specific: the fabric
   // features to configure, the tunable parameters, and the factory (or
   // the message-transport flag) — no scheme is special-cased by name.
-  const cc::Scheme& scheme = cc::Registry::instance().at(cfg.cc);
+  // A cc_mix run resolves one entry per member instead; the hosts then
+  // share a fabric shaped by the first marking-dependent member.
+  const bool mixed = !cfg.cc_mix.empty();
+  const cc::Scheme* single =
+      mixed ? nullptr : &cc::Registry::instance().at(cfg.cc);
+  std::vector<const cc::Scheme*> members;
+  for (const auto& m : cfg.cc_mix) {
+    const cc::Scheme& s = cc::Registry::instance().at(m.cc);
+    if (s.message_transport) {
+      throw std::invalid_argument(
+          "cc_mix member '" + m.cc +
+          "' is a receiver-driven message transport; it reshapes the fabric "
+          "(priority bands, receiver grants) and cannot share one with "
+          "sender CC algorithms");
+    }
+    members.push_back(&s);
+  }
 
   sim::Simulator simulator(cfg.sim_queue);
   net::Network network(simulator);
 
   topo::FatTreeConfig topo_cfg = cfg.topo;
-  topo_cfg.ecn = scheme.needs.ecn;
-  topo_cfg.priority_bands = scheme.needs.priority_bands;
+  if (single != nullptr) {
+    topo_cfg.ecn = single->needs.ecn;
+    topo_cfg.priority_bands = single->needs.priority_bands;
+  } else {
+    topo_cfg.ecn = net::EcnConfig{};
+    for (const cc::Scheme* s : members) {
+      if (s->needs.ecn.enabled) {
+        topo_cfg.ecn = s->needs.ecn;
+        break;
+      }
+    }
+    topo_cfg.priority_bands = 0;
+  }
   topo_cfg.int_enabled = true;
   topo::FatTree fabric(network, topo_cfg);
 
@@ -94,10 +121,10 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
 
   // ---- flow setup ----
   cc::ParamMap scheme_params = cfg.cc_params;
-  if (scheme.experiment_defaults) {
-    scheme.experiment_defaults(params, scheme_params);
+  if (single != nullptr && single->experiment_defaults) {
+    single->experiment_defaults(params, scheme_params);
   }
-  if (scheme.message_transport) {
+  if (single != nullptr && single->message_transport) {
     host::HomaConfig hc = host::homa_config_from_params(scheme_params, params);
     if (scheme_params.count("overcommit") == 0) {
       hc.overcommit = cfg.homa_overcommit;
@@ -126,18 +153,43 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
       });
     }
   } else {
-    const cc::FlowCcFactory factory =
-        scheme.make(scheme_params, cc::SchemeTopology{});
+    // One factory per mix member (or the single scheme as a one-member
+    // "mix"); each host draws from the factory its assignment pins.
+    std::vector<cc::FlowCcFactory> factories;
+    if (mixed) {
+      std::vector<cc::MixMember> mm;
+      for (std::size_t i = 0; i < cfg.cc_mix.size(); ++i) {
+        cc::ParamMap member_params = cfg.cc_mix[i].cc_params;
+        if (members[i]->experiment_defaults) {
+          members[i]->experiment_defaults(params, member_params);
+        }
+        factories.push_back(
+            members[i]->make(member_params, cc::SchemeTopology{}));
+        mm.push_back({cfg.cc_mix[i].cc, cfg.cc_mix[i].weight});
+      }
+      result.host_member =
+          cc::mix_assignment(mm, fabric.host_count(), cfg.seed);
+      result.member_fct.resize(cfg.cc_mix.size());
+    } else {
+      factories.push_back(single->make(scheme_params, cc::SchemeTopology{}));
+    }
     net::FlowId next_id = 1;
     for (const auto& arrival : plan) {
       const net::FlowId id = next_id++;
       const cc::FlowEndpoints endpoints{fabric.tor_of_host(arrival.src_host),
                                         fabric.tor_of_host(arrival.dst_host)};
+      const int member =
+          mixed ? result.host_member[static_cast<std::size_t>(
+                      arrival.src_host)]
+                : 0;
       fabric.host(arrival.src_host)
           .start_flow(id, fabric.host_node(arrival.dst_host),
-                      arrival.size_bytes, factory(params, endpoints), params,
-                      arrival.start,
-                      [&result, &ideal_fct](const host::FlowCompletion& c) {
+                      arrival.size_bytes,
+                      factories[static_cast<std::size_t>(member)](params,
+                                                                  endpoints),
+                      params, arrival.start,
+                      [&result, &ideal_fct,
+                       member](const host::FlowCompletion& c) {
                         stats::FlowRecord rec;
                         rec.flow_id = c.flow;
                         rec.size_bytes = c.size_bytes;
@@ -145,6 +197,10 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
                         rec.finish = c.finish;
                         rec.ideal = ideal_fct(c.size_bytes);
                         result.fct.record(rec);
+                        if (!result.member_fct.empty()) {
+                          result.member_fct[static_cast<std::size_t>(member)]
+                              .record(rec);
+                        }
                         ++result.flows_completed;
                       });
     }
@@ -163,7 +219,9 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
   std::optional<FlightTap> tap;
   if (cfg.telemetry.enabled && !uplinks.empty()) {
     host::Host* tap_host = nullptr;
-    if (!scheme.message_transport && cfg.telemetry.flow >= 1 &&
+    const bool message_transport =
+        single != nullptr && single->message_transport;
+    if (!message_transport && cfg.telemetry.flow >= 1 &&
         static_cast<std::size_t>(cfg.telemetry.flow) <= plan.size()) {
       tap_host = &fabric.host(
           plan[static_cast<std::size_t>(cfg.telemetry.flow - 1)].src_host);

@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "cc/mix.hpp"
 #include "cc/params.hpp"
 #include "harness/telemetry.hpp"
 #include "sim/event_queue.hpp"
@@ -31,6 +33,18 @@ struct FatTreeExperiment {
   /// does not pin fall back to the scheme's experiment defaults (e.g.
   /// PowerTCP's HPCC-matched beta), then to its paper defaults.
   cc::ParamMap cc_params;
+  /// Per-host CC mix (brownfield coexistence). When non-empty, `cc` /
+  /// `cc_params` above are ignored: each host is pinned to one member
+  /// by cc::mix_assignment, deterministic in `seed`. Members must be
+  /// sender CC algorithms — message transports (Homa) reshape the
+  /// fabric and cannot share it, so they are rejected. The fabric runs
+  /// the ECN profile of the first member that needs marking.
+  struct MixShare {
+    std::string cc;          ///< cc::Registry entry name
+    cc::ParamMap cc_params;  ///< per-member tunable overrides
+    double weight = 1.0;     ///< normalized share of hosts
+  };
+  std::vector<MixShare> cc_mix;
   double uplink_load = 0.6;  ///< websearch load on the ToR uplinks
   sim::TimePs duration = sim::milliseconds(20);
   std::uint64_t seed = 1;
@@ -73,6 +87,13 @@ struct ExperimentResult {
   std::uint64_t drops = 0;
   sim::TimePs tau = 0;
   TelemetrySeries flight;  ///< empty unless cfg.telemetry.enabled
+
+  // Populated only for cc_mix runs:
+  /// mix-member index each host was pinned to (empty when homogeneous).
+  std::vector<int> host_member;
+  /// per-member FCT recorders, parallel to cfg.cc_mix; `fct` above
+  /// still aggregates every flow.
+  std::vector<stats::FctRecorder> member_fct;
 
   double completion_rate() const {
     return flows_started == 0

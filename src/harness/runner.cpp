@@ -7,7 +7,11 @@
 #include <stdexcept>
 
 #include "analysis/control_law.hpp"
+#include "analysis/fluid_model.hpp"
+#include "analysis/theorems.hpp"
+#include "cc/mix.hpp"
 #include "cc/registry.hpp"
+#include "net/aqm.hpp"
 #include "stats/fct_recorder.hpp"
 
 namespace powertcp::harness {
@@ -144,6 +148,7 @@ std::unique_ptr<ScenarioConfig> load_fat_tree_kind(const ConfigFile& file,
   sc->fat_tree.seed = ctx.seed;
   sc->fat_tree.telemetry = ctx.telemetry;
   load_fat_tree_topology(topo, &sc->fat_tree.topo, file);
+  sc->fat_tree.topo.aqm = ctx.aqm;
   sc->loads = work.get_double_list("loads", sc->loads);
   if (sc->loads.empty()) {
     throw ConfigError(file.origin() +
@@ -177,6 +182,7 @@ std::unique_ptr<ScenarioConfig> load_incast_kind(const ConfigFile& file,
   sc->incast.sim_queue = ctx.sim_queue;
   sc->incast.telemetry = ctx.telemetry;
   load_fat_tree_topology(topo, &sc->incast.topo, file);
+  sc->incast.topo.aqm = ctx.aqm;
   sc->query_kb = work.get_double_list("query_kb", sc->query_kb);
   sc->fan_in = work.get_double_list("fan_in", sc->fan_in);
   if (sc->query_kb.empty() || sc->fan_in.empty()) {
@@ -302,6 +308,7 @@ std::unique_ptr<ScenarioConfig> load_dumbbell_kind(const ConfigFile& file,
   DumbbellScenario& d = sc->dumbbell;
   d.sim_queue = ctx.sim_queue;
   d.telemetry = ctx.telemetry;
+  d.topo.aqm = ctx.aqm;
   if (topo.has("host_gbps")) {
     d.topo.host_bw = sim::Bandwidth::gbps(topo.get_double("host_gbps", 0));
   }
@@ -337,6 +344,8 @@ std::unique_ptr<ScenarioConfig> load_homa_oc_kind(const ConfigFile& file,
   h.sim_queue = ctx.sim_queue;
   h.telemetry = ctx.telemetry;
   load_fat_tree_topology(topo, &h.incast_topo, file);
+  h.incast_topo.aqm = ctx.aqm;
+  h.fairness.topo.aqm = ctx.aqm;
   h.overcommit = get_int_list(work, "overcommit", h.overcommit, file);
   h.fan_in = get_int_list(work, "fan_in", h.fan_in, file);
   load_flow_mb(work, &h.fairness.flow_bytes, file);
@@ -395,6 +404,160 @@ std::unique_ptr<ScenarioConfig> load_single_flow_kind(
   return sc;
 }
 
+std::unique_ptr<ScenarioConfig> load_mixed_cc_kind(const ConfigFile& file,
+                                                   SectionView& topo,
+                                                   SectionView& work,
+                                                   const ScenarioContext& ctx) {
+  auto sc = std::make_unique<MixedCcKindConfig>();
+  sc->slug_prefix = ctx.slug_prefix;
+  MixedCcScenario& m = sc->mixed;
+  m.sim_queue = ctx.sim_queue;
+  m.seed = ctx.seed;
+  m.aqm = ctx.aqm;
+  if (topo.has("host_gbps")) {
+    m.topo.host_bw = sim::Bandwidth::gbps(topo.get_double("host_gbps", 0));
+  }
+  if (topo.has("bottleneck_gbps")) {
+    m.topo.bottleneck_bw =
+        sim::Bandwidth::gbps(topo.get_double("bottleneck_gbps", 0));
+  }
+  m.topo.dt_alpha = topo.get_double("dt_alpha", m.topo.dt_alpha);
+
+  // `cc_mix = dctcp:0.5+powertcp:0.5, dctcp` — each comma-separated
+  // entry is one mix cell; members reference [experiment] scheme
+  // labels (so [cc.<label>] params apply per member).
+  const std::vector<std::string> mix_specs = work.get_list("cc_mix", {});
+  if (mix_specs.empty()) {
+    throw ConfigError(file.origin() +
+                      ": [workload] needs a non-empty `cc_mix` list");
+  }
+  // The entry's source line, for member-resolution errors.
+  std::string at = file.origin();
+  if (const ConfigFile::Section* wsec = file.find("workload")) {
+    for (const auto& e : wsec->entries) {
+      if (e.key == "cc_mix") {
+        at += ":" + std::to_string(e.line);
+        break;
+      }
+    }
+  }
+  for (const std::string& spec : mix_specs) {
+    std::vector<cc::MixMember> members;
+    try {
+      members = cc::parse_cc_mix(spec);
+    } catch (const std::exception& e) {
+      throw ConfigError(at + ": [workload] cc_mix entry '" + spec +
+                        "': " + e.what());
+    }
+    MixedCcMix mix;
+    mix.display = cc::mix_display(members);
+    for (const auto& mem : members) {
+      const SchemeRun* run = nullptr;
+      for (const auto& s : ctx.schemes) {
+        if (s.display() == mem.label) {
+          run = &s;
+          break;
+        }
+      }
+      if (run == nullptr) {
+        throw ConfigError(at + ": [workload] cc_mix member '" + mem.label +
+                          "' is not in the [experiment] schemes list");
+      }
+      const cc::Scheme& scheme = cc::Registry::instance().at(run->scheme);
+      if (scheme.message_transport) {
+        throw ConfigError(
+            at + ": [workload] cc_mix member '" + mem.label + "' (scheme " +
+            run->scheme +
+            ") is a receiver-driven message transport; it reshapes the "
+            "fabric and cannot share a bottleneck with sender CC "
+            "algorithms");
+      }
+      if (scheme.needs.circuit_schedule) {
+        throw ConfigError(at + ": [workload] cc_mix member '" + mem.label +
+                          "' (scheme " + run->scheme +
+                          ") needs a circuit schedule; the coexistence "
+                          "dumbbell has none");
+      }
+      mix.members.push_back(*run);
+      mix.weights.push_back(mem.weight);
+    }
+    m.mixes.push_back(std::move(mix));
+  }
+
+  m.aqm_kinds = work.get_list("aqm", m.aqm_kinds);
+  for (const auto& kind : m.aqm_kinds) {
+    if (net::AqmRegistry::instance().find(kind) == nullptr) {
+      throw ConfigError(file.origin() + ": [workload] aqm = '" + kind +
+                        "' is not one of " +
+                        net::AqmRegistry::instance().joined_names());
+    }
+  }
+  m.rtt_us = work.get_double_list("rtt_us", m.rtt_us);
+  for (const double rtt : m.rtt_us) {
+    if (!std::isfinite(rtt) || rtt <= 0) {
+      throw ConfigError(file.origin() +
+                        ": [workload] rtt_us entries must be > 0");
+    }
+  }
+  // `buffer_kb = 0, 16, 250` — 0 keeps the topology's default (deep)
+  // buffer; small values reach the Tiny-Buffer regime.
+  for (const double kb : work.get_double_list("buffer_kb", {})) {
+    m.buffer_bytes.push_back(
+        kb == 0 ? 0 : size_to_bytes(kb, 1e3, "buffer_kb", file));
+  }
+  m.senders = static_cast<int>(work.get_int("senders", m.senders));
+  if (m.senders < 1) {
+    throw ConfigError(file.origin() + ": [workload] senders must be >= 1");
+  }
+  m.flow_bytes = size_to_bytes(
+      work.get_double("flow_mb", static_cast<double>(m.flow_bytes) / 1e6),
+      1e6, "flow_mb", file);
+  m.horizon = get_ms(work, "horizon_ms", m.horizon);
+  return sc;
+}
+
+std::unique_ptr<ScenarioConfig> load_fluid_phase_kind(
+    const ConfigFile& file, SectionView& topo, SectionView& work,
+    const ScenarioContext& ctx) {
+  auto sc = std::make_unique<FluidPhaseKindConfig>();
+  sc->slug_prefix = ctx.slug_prefix;
+  sc->bandwidth_gbps = topo.get_double("bandwidth_gbps", sc->bandwidth_gbps);
+  sc->base_rtt_us = topo.get_double("base_rtt_us", sc->base_rtt_us);
+  sc->gamma = topo.get_double("gamma", sc->gamma);
+  sc->update_interval_us =
+      topo.get_double("update_interval_us", sc->update_interval_us);
+  sc->beta_frac = topo.get_double("beta_frac", sc->beta_frac);
+  if (sc->bandwidth_gbps <= 0 || sc->base_rtt_us <= 0 || sc->gamma <= 0 ||
+      sc->update_interval_us <= 0 || sc->beta_frac <= 0) {
+    throw ConfigError(file.origin() +
+                      ": [topology] fluid-model parameters must be > 0");
+  }
+  sc->duration_ms = work.get_double("duration_ms", sc->duration_ms);
+  sc->step_us = work.get_double("step_us", sc->step_us);
+  sc->sample_us = work.get_double("sample_us", sc->sample_us);
+  if (sc->duration_ms <= 0 || sc->step_us <= 0 || sc->sample_us <= 0) {
+    throw ConfigError(
+        file.origin() +
+        ": [workload] duration_ms, step_us and sample_us must be > 0");
+  }
+  sc->grid_w_bdp = work.get_double_list("grid_w_bdp", sc->grid_w_bdp);
+  sc->grid_q_bdp = work.get_double_list("grid_q_bdp", sc->grid_q_bdp);
+  if (sc->grid_w_bdp.empty() ||
+      sc->grid_w_bdp.size() != sc->grid_q_bdp.size()) {
+    throw ConfigError(file.origin() +
+                      ": [workload] grid_w_bdp and grid_q_bdp must be "
+                      "non-empty lists of equal length");
+  }
+  for (std::size_t i = 0; i < sc->grid_w_bdp.size(); ++i) {
+    if (!std::isfinite(sc->grid_w_bdp[i]) || sc->grid_w_bdp[i] <= 0 ||
+        !std::isfinite(sc->grid_q_bdp[i]) || sc->grid_q_bdp[i] < 0) {
+      throw ConfigError(file.origin() +
+                        ": [workload] grid entries need w > 0 and q >= 0");
+    }
+  }
+  return sc;
+}
+
 }  // namespace
 
 void register_builtin_scenarios(ScenarioRegistry& registry) {
@@ -448,6 +611,22 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
        "hold_queue_pkts, hold_rate_x, rate_max, queue_max_pkts, "
        "queue_step_pkts",
        load_single_flow_kind});
+  registry.add(
+      {"mixed_cc",
+       "brownfield coexistence: per-host CC mixes sharing one dumbbell, "
+       "swept over (mix, aqm, rtt, buffer) cells into fairness/share/FCT "
+       "tables",
+       "host_gbps, bottleneck_gbps, dt_alpha",
+       "cc_mix, aqm, rtt_us, buffer_kb, senders, flow_mb, horizon_ms",
+       load_mixed_cc_kind});
+  registry.add(
+      {"fluid_phase",
+       "Fig. 3 fluid-model phase portraits: per-law trajectories from a "
+       "grid of initial states plus the Theorem 1/2 stability summary "
+       "(no simulation)",
+       "bandwidth_gbps, base_rtt_us, gamma, update_interval_us, beta_frac",
+       "duration_ms, step_us, sample_us, grid_w_bdp, grid_q_bdp",
+       load_fluid_phase_kind});
 }
 
 RunnerConfig load_runner_config(const ConfigFile& file,
@@ -488,6 +667,34 @@ RunnerConfig load_runner_config(const ConfigFile& file,
   ctx.telemetry = load_telemetry_config(file);
   if (options.force_telemetry) ctx.telemetry.enabled = true;
 
+  // Optional [aqm] section: the switch marking/drop policy. The
+  // default ("red") keeps every pre-AQM-layer config byte-identical
+  // (pinned by the golden tests).
+  SectionView aqm(file, file.find("aqm"));
+  ctx.aqm.kind = aqm.get_string("kind", ctx.aqm.kind);
+  if (net::AqmRegistry::instance().find(ctx.aqm.kind) == nullptr) {
+    throw ConfigError(file.origin() + ": [aqm] kind = '" + ctx.aqm.kind +
+                      "' is not one of " +
+                      net::AqmRegistry::instance().joined_names());
+  }
+  ctx.aqm.target_us = aqm.get_double("target_us", ctx.aqm.target_us);
+  ctx.aqm.tupdate_us = aqm.get_double("tupdate_us", ctx.aqm.tupdate_us);
+  ctx.aqm.alpha = aqm.get_double("alpha", ctx.aqm.alpha);
+  ctx.aqm.beta = aqm.get_double("beta", ctx.aqm.beta);
+  ctx.aqm.ecn_threshold =
+      aqm.get_double("ecn_threshold", ctx.aqm.ecn_threshold);
+  if (ctx.aqm.target_us <= 0 || ctx.aqm.tupdate_us <= 0 ||
+      ctx.aqm.alpha <= 0 || ctx.aqm.beta <= 0) {
+    throw ConfigError(file.origin() +
+                      ": [aqm] target_us, tupdate_us, alpha and beta "
+                      "must be > 0");
+  }
+  if (ctx.aqm.ecn_threshold < 0 || ctx.aqm.ecn_threshold > 1) {
+    throw ConfigError(file.origin() +
+                      ": [aqm] ecn_threshold must be in [0, 1]");
+  }
+  aqm.finish();
+
   for (const auto& name : scheme_names) {
     ctx.schemes.push_back(resolve_scheme(file, name));
   }
@@ -503,7 +710,7 @@ RunnerConfig load_runner_config(const ConfigFile& file,
   // Reject sections the loader never looked at (typos, or [cc.X] for a
   // scheme the `schemes` list does not run).
   std::set<std::string> known = {"experiment", "topology", "workload",
-                                 "telemetry"};
+                                 "telemetry", "aqm"};
   for (const auto& name : scheme_names) known.insert("cc." + name);
   for (const auto& sec : file.sections()) {
     if (known.count(sec.name) == 0) {
@@ -599,6 +806,127 @@ std::vector<ResultTable> DumbbellKindConfig::run(
 std::vector<ResultTable> HomaOcKindConfig::run(
     const SweepRunner& runner) const {
   return homa_oc_tables(runner, homa_oc, schemes, slug_prefix);
+}
+
+std::vector<ResultTable> MixedCcKindConfig::run(
+    const SweepRunner& runner) const {
+  return mixed_cc_tables(runner, mixed, slug_prefix);
+}
+
+std::vector<ResultTable> FluidPhaseKindConfig::run(
+    const SweepRunner&) const {
+  analysis::FluidParams p;
+  p.bandwidth_Bps = bandwidth_gbps * 1e9 / 8.0;
+  p.base_rtt_s = base_rtt_us * 1e-6;
+  p.gamma = gamma;
+  p.update_interval_s = update_interval_us * 1e-6;
+  p.beta_bytes = beta_frac * p.bdp_bytes();
+  const double bdp = p.bdp_bytes();
+
+  // Fig. 3's three panels: (a) voltage dips below the BDP line, (b)
+  // current settles at initial-state-dependent queues, (c) power is
+  // unique and undershoot-free.
+  const struct {
+    analysis::LawType law;
+    const char* slug;
+  } laws[] = {{analysis::LawType::kQueueLength, "voltage"},
+              {analysis::LawType::kRttGradient, "current"},
+              {analysis::LawType::kPower, "power"}};
+
+  std::vector<ResultTable> tables;
+  ResultTable summary;
+  summary.slug = slug_prefix + "_summary";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "Fig. 3 summary: final-queue spread and worst inflight "
+                "(b=%.0fG tau=%.0fus BDP=%.0f KB beta=%.1f KB)",
+                bandwidth_gbps, base_rtt_us, bdp / 1e3,
+                p.beta_bytes / 1e3);
+  summary.title = buf;
+  summary.key_columns = {"law"};
+  summary.value_columns = {"spreadBDP", "minInflBDP", "verdict", "eqW_BDP",
+                           "eqQ_BDP"};
+
+  for (const auto& lr : laws) {
+    const analysis::FluidModel model(lr.law, p);
+    ResultTable t;
+    std::snprintf(buf, sizeof(buf),
+                  "Fig. 3 phase portrait: %s, %zu initial states",
+                  std::string(analysis::law_name(lr.law)).c_str(),
+                  grid_w_bdp.size());
+    t.title = buf;
+    t.slug = slug_prefix + "_" + lr.slug;
+    t.key_columns = {"initW_BDP", "initQ_BDP"};
+    t.value_columns = {"finalW_BDP", "finalQ_BDP", "minInflBDP"};
+    double min_final_q = 1e300;
+    double max_final_q = -1e300;
+    double worst_undershoot = 1e300;
+    for (std::size_t i = 0; i < grid_w_bdp.size(); ++i) {
+      const analysis::FluidState init{grid_w_bdp[i] * bdp,
+                                      grid_q_bdp[i] * bdp};
+      const auto traj =
+          model.trajectory(init, duration_ms * 1e-3, step_us * 1e-6,
+                           sample_us * 1e-6);
+      // Undershoot only counts once the system is past the initial
+      // transient toward the line.
+      double min_inflight = 1e300;
+      for (const auto& pt : traj) {
+        if (pt.t > 5 * p.base_rtt_s) {
+          min_inflight = std::min(min_inflight, pt.inflight_bytes);
+        }
+      }
+      const analysis::FluidState fin = traj.back().state;
+      min_final_q = std::min(min_final_q, fin.q_bytes);
+      max_final_q = std::max(max_final_q, fin.q_bytes);
+      worst_undershoot = std::min(worst_undershoot, min_inflight);
+      ResultTable::Row row;
+      row.keys = {Cell(grid_w_bdp[i], 2), Cell(grid_q_bdp[i], 2)};
+      row.values = {Cell(fin.w_bytes / bdp, 3), Cell(fin.q_bytes / bdp, 3),
+                    Cell(min_inflight / bdp, 3)};
+      t.rows.push_back(std::move(row));
+    }
+    ResultTable::Row srow;
+    srow.keys = {Cell(std::string(lr.slug))};
+    srow.values = {
+        Cell((max_final_q - min_final_q) / bdp, 3),
+        Cell(worst_undershoot / bdp, 3),
+        Cell(std::string(worst_undershoot < 0.97 * bdp ? "loss"
+                                                       : "no loss"))};
+    if (model.has_unique_equilibrium()) {
+      const analysis::FluidState eq = model.analytic_equilibrium();
+      srow.values.push_back(Cell(eq.w_bytes / bdp, 3));
+      srow.values.push_back(Cell(eq.q_bytes / bdp, 3));
+    } else {
+      // No unique equilibrium (Appendix C) — the current-law defect.
+      srow.values.push_back(Cell());
+      srow.values.push_back(Cell());
+    }
+    summary.rows.push_back(std::move(srow));
+    tables.push_back(std::move(t));
+  }
+  tables.push_back(std::move(summary));
+
+  {
+    ResultTable t;
+    t.title =
+        "Theorems 1-2: PowerTCP linearization eigenvalues (negative -> "
+        "stable) and convergence time constant";
+    t.slug = slug_prefix + "_stability";
+    t.key_columns = {"quantity"};
+    t.value_columns = {"value"};
+    const auto eig = analysis::power_tcp_eigenvalues(p);
+    const auto add = [&t](const char* name, Cell value) {
+      ResultTable::Row row;
+      row.keys = {Cell(std::string(name))};
+      row.values = {std::move(value)};
+      t.rows.push_back(std::move(row));
+    };
+    add("T1 eigenvalue 1 (1/s)", Cell(eig[0], 0));
+    add("T1 eigenvalue 2 (1/s)", Cell(eig[1], 0));
+    add("T2 dt/gamma (us)", Cell(p.update_interval_s / p.gamma * 1e6, 2));
+    tables.push_back(std::move(t));
+  }
+  return tables;
 }
 
 std::vector<ResultTable> SingleFlowKindConfig::run(

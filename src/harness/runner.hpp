@@ -26,7 +26,8 @@
 ///   [experiment]
 ///   kind = fat_tree            # any registered scenario kind:
 ///                              # fat_tree | incast | rdcn | dumbbell
-///                              # | homa_oc | single_flow
+///                              # | homa_oc | single_flow | mixed_cc
+///                              # | fluid_phase
 ///                              # (powertcp_run --kinds)
 ///   slug = fig6                # table slug prefix
 ///   schemes = powertcp, hpcc, homa
@@ -45,6 +46,11 @@
 ///
 ///   [cc.powertcp]              # per-scheme tunables (optional)
 ///   gamma = 0.9
+///
+///   [aqm]                      # optional; switch marking/drop policy
+///   kind = red                 # red (default) | pie | pi2
+///   target_us = 20             # PI controllers: target queue delay
+///   tupdate_us = 20            # ... and update period
 ///
 /// A `[cc.<label>]` section may carry `scheme = <registered name>` to
 /// run one scheme several times under different labels/params (e.g.
@@ -132,6 +138,42 @@ struct SingleFlowKindConfig final : ScenarioConfig {
   double rate_max_x = 8;         ///< Fig. 2a sweeps 0..rate_max_x step 1
   double queue_max_pkts = 60;    ///< Fig. 2b sweeps 0..queue_max_pkts
   double queue_step_pkts = 10;   ///< ... in this step
+  std::string slug_prefix = "run";
+  std::vector<ResultTable> run(const SweepRunner& runner) const override;
+};
+
+/// kind == "mixed_cc": brownfield coexistence. Per-host CC mixes
+/// (`cc_mix = "dctcp:0.5+powertcp:0.5"` entries over the resolved
+/// scheme labels) share one dumbbell bottleneck, swept over the
+/// (mix, aqm, rtt, buffer) grid down to the Tiny-Buffer regime.
+/// Emits fairness / throughput-share / FCT tables, one row per cell
+/// (x member for the per-member tables).
+struct MixedCcKindConfig final : ScenarioConfig {
+  MixedCcScenario mixed;
+  std::string slug_prefix = "run";
+  std::vector<ResultTable> run(const SweepRunner& runner) const override;
+};
+
+/// kind == "fluid_phase": Fig. 3's fluid-model phase portraits — the
+/// four control laws integrated from a grid of initial (window, queue)
+/// states, plus the Theorem 1/2 stability summary. Deterministic
+/// closed-form integration: no simulation runs, so `[experiment]
+/// schemes/seed/percentile/sim_queue` and `[telemetry]` are carried by
+/// the file format but ignored (the documented pattern for
+/// deterministic kinds). Defaults are the paper's setting (100G,
+/// 20us RTT, beta = 0.01 BDP).
+struct FluidPhaseKindConfig final : ScenarioConfig {
+  double bandwidth_gbps = 100.0;     ///< bottleneck b
+  double base_rtt_us = 20.0;         ///< base RTT tau
+  double gamma = 0.9;                ///< EWMA gain
+  double update_interval_us = 20.0;  ///< per-RTT update period
+  double beta_frac = 0.01;           ///< additive term as a BDP fraction
+  double duration_ms = 4.0;          ///< integration horizon
+  double step_us = 0.2;              ///< Euler step
+  double sample_us = 2.0;            ///< trajectory sampling period
+  /// Initial states in BDP units, paired index-wise (w_bdp[i], q_bdp[i]).
+  std::vector<double> grid_w_bdp = {0.3, 3, 1, 4, 0.5, 6};
+  std::vector<double> grid_q_bdp = {0, 0, 2, 1, 3, 4};
   std::string slug_prefix = "run";
   std::vector<ResultTable> run(const SweepRunner& runner) const override;
 };

@@ -28,6 +28,9 @@
 ///   rdcn      — Fig. 8 reconfigurable-DCN case study
 ///   dumbbell  — Fig. 5 staggered-flow fairness/stability series
 ///   homa_oc   — Figs. 9-11 Homa overcommitment sweep
+///   single_flow — Fig. 2 analytic reaction curves (no simulation)
+///   mixed_cc  — brownfield coexistence: per-host CC mixes x AQM grid
+///   fluid_phase — Fig. 3 fluid-model phase portraits (no simulation)
 
 namespace powertcp::harness {
 
@@ -43,6 +46,11 @@ struct ScenarioContext {
   /// Parsed `[telemetry]` section (possibly forced on by the CLI);
   /// loaders copy it into their kind's scenario config.
   TelemetryConfig telemetry;
+  /// Parsed `[aqm]` section (kind validated against net::AqmRegistry).
+  /// Loaders with switches copy it into their topology config; the
+  /// default ("red" + the scheme's ECN profile) is byte-identical to
+  /// the pre-AQM-layer behavior.
+  net::AqmSpec aqm;
 };
 
 /// A parsed, runnable experiment of one scenario kind. Implementations
@@ -103,7 +111,7 @@ class ScenarioRegistry {
   std::vector<ScenarioEntry> entries_;
 };
 
-/// Registers the five built-in kinds; defined in runner.cpp beside the
+/// Registers the built-in kinds; defined in runner.cpp beside the
 /// per-kind loaders so the registry core stays schema-free.
 void register_builtin_scenarios(ScenarioRegistry& registry);
 

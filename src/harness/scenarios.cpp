@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "cc/mix.hpp"
 #include "cc/registry.hpp"
 #include "host/homa.hpp"
 #include "net/network.hpp"
@@ -657,6 +658,268 @@ std::vector<ResultTable> homa_oc_tables(const SweepRunner& runner,
       for (auto& f : flights) tables.push_back(std::move(f));
     }
   }
+  return tables;
+}
+
+MixedCcCellResult run_mixed_cc_cell(const MixedCcScenario& cfg,
+                                    const MixedCcMix& mix,
+                                    const std::string& aqm_kind,
+                                    double rtt_us,
+                                    std::int64_t buffer_bytes) {
+  if (mix.members.empty() || mix.members.size() != mix.weights.size()) {
+    throw std::invalid_argument("mixed_cc: malformed mix '" + mix.display +
+                                "'");
+  }
+  std::vector<const cc::Scheme*> schemes;
+  for (const auto& run : mix.members) {
+    const cc::Scheme& s = resolve(run);
+    if (s.message_transport) {
+      throw std::invalid_argument(
+          "mixed_cc: mix member '" + run.display() +
+          "' is a receiver-driven message transport; it reshapes the fabric "
+          "(priority bands, receiver grants) and cannot share a bottleneck "
+          "with sender CC algorithms");
+    }
+    if (s.needs.circuit_schedule) {
+      throw std::invalid_argument(
+          "mixed_cc: mix member '" + run.display() +
+          "' needs a circuit schedule; the coexistence dumbbell has none");
+    }
+    schemes.push_back(&s);
+  }
+
+  sim::Simulator simulator(cfg.sim_queue);
+  net::Network network(simulator);
+  topo::DumbbellConfig topo_cfg = cfg.topo;
+  topo_cfg.n_senders = cfg.senders;
+  topo_cfg.link_delay = sim::from_seconds(rtt_us * 1e-6 / 4.0);
+  if (buffer_bytes > 0) topo_cfg.buffer_bytes = buffer_bytes;
+  topo_cfg.priority_bands = 0;
+  topo_cfg.aqm = cfg.aqm;
+  topo_cfg.aqm.kind = aqm_kind;
+  // Registry ECN profiles carry per-Gbps thresholds (FatTreeConfig
+  // semantics); the dumbbell takes absolute bytes, so scale by the
+  // bottleneck line rate. First marking-dependent member wins — one
+  // fabric, one profile, exactly the brownfield constraint.
+  topo_cfg.ecn = net::EcnConfig{};
+  for (const cc::Scheme* s : schemes) {
+    if (s->needs.ecn.enabled) {
+      const double gbps = topo_cfg.bottleneck_bw.gbps_value();
+      topo_cfg.ecn = s->needs.ecn;
+      topo_cfg.ecn.kmin_bytes = static_cast<std::int64_t>(
+          static_cast<double>(topo_cfg.ecn.kmin_bytes) * gbps);
+      topo_cfg.ecn.kmax_bytes = static_cast<std::int64_t>(
+          static_cast<double>(topo_cfg.ecn.kmax_bytes) * gbps);
+      break;
+    }
+  }
+  topo::Dumbbell topo(network, topo_cfg);
+
+  cc::FlowParams params;
+  params.host_bw = topo_cfg.host_bw;
+  params.base_rtt = topo.base_rtt();
+  params.expected_flows = cfg.senders;
+
+  std::vector<cc::FlowCcFactory> factories;
+  factories.reserve(mix.members.size());
+  for (std::size_t i = 0; i < mix.members.size(); ++i) {
+    factories.push_back(
+        schemes[i]->make(mix.members[i].params, cc::SchemeTopology{}));
+  }
+  std::vector<cc::MixMember> mm;
+  mm.reserve(mix.members.size());
+  for (std::size_t i = 0; i < mix.members.size(); ++i) {
+    mm.push_back({mix.members[i].display(), mix.weights[i]});
+  }
+  const std::vector<int> assign =
+      cc::mix_assignment(mm, cfg.senders, cfg.seed);
+
+  const auto n = static_cast<std::size_t>(cfg.senders);
+  std::vector<std::int64_t> bytes(n, 0);
+  std::vector<sim::TimePs> finish(n, 0);
+  std::vector<char> done(n, 0);
+  topo.receiver().set_data_callback(
+      [&bytes, n](net::FlowId flow, std::int64_t b, sim::TimePs) {
+        if (flow >= 1 && static_cast<std::size_t>(flow) <= n) {
+          bytes[static_cast<std::size_t>(flow - 1)] += b;
+        }
+      });
+  for (int i = 0; i < cfg.senders; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    topo.sender(i).start_flow(
+        static_cast<net::FlowId>(i + 1), topo.receiver_node(), cfg.flow_bytes,
+        factories[static_cast<std::size_t>(assign[idx])](params,
+                                                         cc::FlowEndpoints{}),
+        params, 0,
+        [&finish, &done, idx](const host::FlowCompletion& c) {
+          finish[idx] = c.finish;
+          done[idx] = 1;
+        });
+  }
+
+  simulator.run_until(cfg.horizon);
+
+  // Per-flow delivery rate over the flow's own active window, so a
+  // stack that finishes early is credited its speed rather than
+  // averaged down by its idle tail.
+  const double horizon_s = sim::to_seconds(cfg.horizon);
+  std::vector<double> rate_gbps(n, 0);
+  double sum = 0, sum_sq = 0;
+  std::int64_t total_bytes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double active_s = done[i] ? sim::to_seconds(finish[i]) : horizon_s;
+    rate_gbps[i] = active_s > 0
+                       ? static_cast<double>(bytes[i]) * 8.0 / active_s / 1e9
+                       : 0.0;
+    sum += rate_gbps[i];
+    sum_sq += rate_gbps[i] * rate_gbps[i];
+    total_bytes += bytes[i];
+  }
+
+  MixedCcCellResult out;
+  if (sum_sq > 0) {
+    out.jain = sum * sum / (static_cast<double>(n) * sum_sq);
+  }
+  out.agg_gbps = static_cast<double>(total_bytes) * 8.0 / horizon_s / 1e9;
+  out.drops = topo.bottleneck_switch().total_drops();
+  out.ecn_marks = topo.bottleneck_port().ecn_marks();
+
+  const double ideal_s = sim::to_seconds(
+      params.base_rtt + topo_cfg.bottleneck_bw.tx_time(cfg.flow_bytes));
+  out.members.resize(mix.members.size());
+  int done_total = 0;
+  for (std::size_t m = 0; m < mix.members.size(); ++m) {
+    auto& stat = out.members[m];
+    stats::Samples slowdowns;
+    std::int64_t member_bytes = 0;
+    double member_rate = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (static_cast<std::size_t>(assign[i]) != m) continue;
+      ++stat.hosts;
+      member_bytes += bytes[i];
+      member_rate += rate_gbps[i];
+      if (done[i]) {
+        ++stat.done;
+        ++done_total;
+        slowdowns.add(sim::to_seconds(finish[i]) / ideal_s);
+      }
+    }
+    if (total_bytes > 0) {
+      stat.share_pct = static_cast<double>(member_bytes) /
+                       static_cast<double>(total_bytes) * 100.0;
+    }
+    if (stat.hosts > 0) stat.mean_gbps = member_rate / stat.hosts;
+    if (!slowdowns.empty()) {
+      stat.p50_slowdown = slowdowns.percentile(50);
+      stat.p99_slowdown = slowdowns.percentile(99);
+    }
+  }
+  out.done_frac =
+      static_cast<double>(done_total) / static_cast<double>(cfg.senders);
+  return out;
+}
+
+std::vector<ResultTable> mixed_cc_tables(const SweepRunner& runner,
+                                         const MixedCcScenario& cfg,
+                                         const std::string& slug_prefix) {
+  if (cfg.mixes.empty()) {
+    throw std::invalid_argument("mixed_cc: needs at least one cc_mix");
+  }
+  struct CellKey {
+    std::size_t mix;
+    std::string aqm;
+    double rtt_us;
+    std::int64_t buffer;
+  };
+  std::vector<CellKey> cells;
+  const std::vector<std::int64_t> buffers =
+      cfg.buffer_bytes.empty() ? std::vector<std::int64_t>{0}
+                               : cfg.buffer_bytes;
+  for (std::size_t m = 0; m < cfg.mixes.size(); ++m) {
+    for (const auto& aqm : cfg.aqm_kinds) {
+      for (const double rtt : cfg.rtt_us) {
+        for (const std::int64_t buf : buffers) {
+          cells.push_back({m, aqm, rtt, buf});
+        }
+      }
+    }
+  }
+
+  std::vector<std::function<MixedCcCellResult()>> jobs;
+  jobs.reserve(cells.size());
+  for (const auto& c : cells) {
+    jobs.push_back([cfg, c] {
+      return run_mixed_cc_cell(cfg, cfg.mixes[c.mix], c.aqm, c.rtt_us,
+                               c.buffer);
+    });
+  }
+  const std::vector<MixedCcCellResult> results = runner.map(jobs);
+
+  const auto cell_keys = [&](const CellKey& c) {
+    std::vector<Cell> keys;
+    keys.push_back(Cell(cfg.mixes[c.mix].display));
+    keys.push_back(Cell(c.aqm));
+    keys.push_back(Cell(c.rtt_us, 1));
+    keys.push_back(c.buffer > 0 ? Cell(static_cast<double>(c.buffer) / 1e3, 0)
+                                : Cell(std::string("default")));
+    return keys;
+  };
+
+  ResultTable fairness;
+  fairness.title =
+      "Coexistence fairness per (mix, aqm, rtt, buffer) cell — Jain's "
+      "index over per-flow delivery rates";
+  fairness.slug = slug_prefix + "_fairness";
+  fairness.key_columns = {"mix", "aqm", "rttus", "bufKB"};
+  fairness.value_columns = {"jain", "aggGbps", "done%", "drops", "marks"};
+
+  ResultTable share;
+  share.title = "Per-member throughput share (member bytes / total bytes)";
+  share.slug = slug_prefix + "_share";
+  share.key_columns = {"mix", "aqm", "rttus", "bufKB", "member"};
+  share.value_columns = {"hosts", "share%", "meanGbps"};
+
+  ResultTable fct;
+  fct.title = "Per-member FCT slowdown (completed flows only)";
+  fct.slug = slug_prefix + "_fct";
+  fct.key_columns = {"mix", "aqm", "rttus", "bufKB", "member"};
+  fct.value_columns = {"p50slow", "p99slow", "done"};
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellKey& c = cells[i];
+    const MixedCcCellResult& r = results[i];
+
+    ResultTable::Row row;
+    row.keys = cell_keys(c);
+    row.values = {Cell(r.jain, 3), Cell(r.agg_gbps, 2),
+                  Cell(r.done_frac * 100.0, 0),
+                  Cell::integer(static_cast<std::int64_t>(r.drops)),
+                  Cell::integer(static_cast<std::int64_t>(r.ecn_marks))};
+    fairness.rows.push_back(std::move(row));
+
+    const MixedCcMix& mix = cfg.mixes[c.mix];
+    for (std::size_t m = 0; m < mix.members.size(); ++m) {
+      const auto& stat = r.members[m];
+      ResultTable::Row srow;
+      srow.keys = cell_keys(c);
+      srow.keys.push_back(Cell(mix.members[m].display()));
+      srow.values = {Cell::integer(stat.hosts), Cell(stat.share_pct, 1),
+                     Cell(stat.mean_gbps, 2)};
+      share.rows.push_back(std::move(srow));
+
+      ResultTable::Row frow;
+      frow.keys = cell_keys(c);
+      frow.keys.push_back(Cell(mix.members[m].display()));
+      frow.values = {Cell(stat.p50_slowdown, 2), Cell(stat.p99_slowdown, 2),
+                     Cell::integer(stat.done)};
+      fct.rows.push_back(std::move(frow));
+    }
+  }
+
+  std::vector<ResultTable> tables;
+  tables.push_back(std::move(fairness));
+  tables.push_back(std::move(share));
+  tables.push_back(std::move(fct));
   return tables;
 }
 

@@ -214,6 +214,75 @@ std::vector<ResultTable> homa_oc_tables(const SweepRunner& runner,
                                         const std::vector<SchemeRun>& schemes,
                                         const std::string& slug_prefix);
 
+/// One congestion-control mix: resolved scheme runs plus normalized
+/// host weights, parallel vectors. `display` keys the mix's table rows
+/// (cc::mix_display form, stable across input spellings).
+struct MixedCcMix {
+  std::string display;
+  std::vector<SchemeRun> members;
+  std::vector<double> weights;
+};
+
+/// Brownfield coexistence (the ROADMAP item this layer pays for): a
+/// dumbbell whose senders are pinned per host to one mix member —
+/// incumbent and candidate stacks sharing one bottleneck — swept over
+/// (cc_mix, aqm, rtt, buffer) cells. The buffer axis reaches down to
+/// the Tiny-Buffer regime (a few KB per port), where marking policy
+/// dominates the outcome.
+struct MixedCcScenario {
+  /// Bandwidth/alpha template; n_senders, link_delay, buffer_bytes and
+  /// aqm.kind are overridden per cell.
+  topo::DumbbellConfig topo;
+  int senders = 8;
+  std::int64_t flow_bytes = 4'000'000;  ///< one flow per sender, all at t=0
+  sim::TimePs horizon = sim::milliseconds(8);
+  std::uint64_t seed = 1;  ///< pins the host->member assignment
+  /// AQM tunables shared by every cell; the swept axis picks `kind`.
+  net::AqmSpec aqm;
+  /// Event-queue backend; results are backend-independent.
+  sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
+
+  // Cell axes (outer product, mix-major):
+  std::vector<MixedCcMix> mixes;
+  std::vector<std::string> aqm_kinds = {"red"};
+  std::vector<double> rtt_us = {8.0};          ///< base RTT; link_delay = rtt/4
+  std::vector<std::int64_t> buffer_bytes = {}; ///< 0 entry = topo default
+};
+
+/// One (mix, aqm, rtt, buffer) cell: fairness, aggregate, and
+/// per-member share/FCT statistics from a single simulation.
+struct MixedCcCellResult {
+  double jain = 0;       ///< Jain's index over per-flow delivery rates
+  double agg_gbps = 0;   ///< aggregate receiver goodput over the horizon
+  double done_frac = 0;  ///< flows finished before the horizon
+  std::uint64_t drops = 0;      ///< switch drops (admission + AQM)
+  std::uint64_t ecn_marks = 0;  ///< bottleneck-port CE marks
+  struct MemberStat {
+    int hosts = 0;
+    double share_pct = 0;  ///< member bytes / total delivered bytes
+    double mean_gbps = 0;  ///< mean per-host delivery rate
+    double p50_slowdown = 0, p99_slowdown = 0;  ///< 0 when none finished
+    int done = 0;
+  };
+  std::vector<MemberStat> members;  ///< parallel to the mix's members
+};
+
+/// Runs one cell. Throws std::invalid_argument for message-transport
+/// (Homa) or circuit-bound (reTCP) members and unknown AQM kinds.
+MixedCcCellResult run_mixed_cc_cell(const MixedCcScenario& cfg,
+                                    const MixedCcMix& mix,
+                                    const std::string& aqm_kind,
+                                    double rtt_us,
+                                    std::int64_t buffer_bytes);
+
+/// The three coexistence tables — `<prefix>_fairness` (one row per
+/// cell), `<prefix>_share` and `<prefix>_fct` (one row per cell ×
+/// member). Cell simulations run on the runner's pool; output is
+/// identical for every thread count.
+std::vector<ResultTable> mixed_cc_tables(const SweepRunner& runner,
+                                         const MixedCcScenario& cfg,
+                                         const std::string& slug_prefix);
+
 /// Renders one finalized flight recording as a time-keyed table (the
 /// shared q/power/cwnd/pace/ecn channel schema; see telemetry.hpp).
 /// Returns an empty-rowed table for an empty series; callers skip

@@ -28,8 +28,24 @@ bool EgressPort::enqueue(Packet pkt) {
     sample_queue();
     return false;
   }
+  if (aqm_ != nullptr) {
+    // The verdict reads only the pre-enqueue backlog (and the policy's
+    // own RNG/controller state), so consulting it before charging the
+    // shared buffer is equivalent — and an AQM drop then never has to
+    // un-charge the buffer.
+    const AqmVerdict v =
+        aqm_->on_enqueue(queue_bytes(), pkt.ecn_capable, sim_.now());
+    if (v.drop) {
+      ++drops_;
+      sample_queue();
+      return false;
+    }
+    if (v.mark) {
+      pkt.ecn_marked = true;
+      ++ecn_marks_;
+    }
+  }
   if (shared_buffer_ != nullptr) shared_buffer_->on_enqueue(sz);
-  maybe_mark_ecn(pkt);
   pkt.enqueue_time = sim_.now();
   push_to_queue(std::move(pkt));
   sample_queue();
@@ -99,24 +115,6 @@ void EgressPort::finish_tx(Packet pkt) {
     });
   }
   kick();
-}
-
-void EgressPort::maybe_mark_ecn(Packet& pkt) const {
-  if (!ecn_.enabled || !pkt.ecn_capable) return;
-  const std::int64_t q = queue_bytes();
-  if (q <= ecn_.kmin_bytes) return;
-  if (q >= ecn_.kmax_bytes) {
-    pkt.ecn_marked = true;
-    ++ecn_marks_;
-    return;
-  }
-  const double span = static_cast<double>(ecn_.kmax_bytes - ecn_.kmin_bytes);
-  const double p =
-      ecn_.pmax * static_cast<double>(q - ecn_.kmin_bytes) / span;
-  if (ecn_rng_.uniform() < p) {
-    pkt.ecn_marked = true;
-    ++ecn_marks_;
-  }
 }
 
 void EgressPort::sample_queue() {

@@ -5,11 +5,11 @@
 #include <memory>
 #include <optional>
 
+#include "net/aqm.hpp"
 #include "net/dt_buffer.hpp"
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
 #include "net/queue.hpp"
-#include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 #include "stats/timeseries.hpp"
@@ -17,21 +17,13 @@
 /// \file egress_port.hpp
 /// Egress ports drain their backlog at line rate, stamp INT records at
 /// the instant a data packet is scheduled for transmission (the paper's
-/// §3.3 semantics), apply RED/ECN marking at enqueue, and enforce the
-/// switch's shared-buffer admission (Dynamic Thresholds).
+/// §3.3 semantics), consult their AQM policy (net/aqm.hpp — step/RED
+/// marking by default) at enqueue, and enforce the switch's
+/// shared-buffer admission (Dynamic Thresholds).
 
 namespace powertcp::net {
 
 class Node;
-
-/// RED-style ECN marking profile (DCQCN-compatible). With
-/// kmin == kmax the profile degenerates to DCTCP's step marking.
-struct EcnConfig {
-  bool enabled = false;
-  std::int64_t kmin_bytes = 0;
-  std::int64_t kmax_bytes = 0;
-  double pmax = 1.0;
-};
 
 class EgressPort {
  public:
@@ -49,10 +41,16 @@ class EgressPort {
   Node* peer() const { return peer_; }
   int peer_in_port() const { return peer_in_port_; }
 
+  /// Installs the historical step/RED marking profile — sugar for
+  /// set_aqm(StepRedAqm): byte-identical to the pre-AQM-layer marking.
   void set_ecn(const EcnConfig& cfg, std::uint64_t seed) {
-    ecn_ = cfg;
-    ecn_rng_ = sim::Rng(seed);
+    aqm_ = std::make_unique<StepRedAqm>(cfg, seed);
   }
+  /// Installs an arbitrary queue-management policy (owned). nullptr
+  /// restores the AQM-free hot path.
+  void set_aqm(std::unique_ptr<Aqm> aqm) { aqm_ = std::move(aqm); }
+  /// The installed policy, or nullptr (hosts, disabled-ECN fabrics).
+  const Aqm* aqm() const { return aqm_.get(); }
   void set_int_enabled(bool on) { int_enabled_ = on; }
   void set_shared_buffer(DtSharedBuffer* buf) { shared_buffer_ = buf; }
 
@@ -74,9 +72,10 @@ class EgressPort {
 
   std::int64_t tx_bytes() const { return tx_bytes_; }
   std::uint64_t tx_packets() const { return tx_packets_; }
+  /// Packets dropped at this port — buffer admission plus AQM drops.
   std::uint64_t drops() const { return drops_; }
-  /// Cumulative packets ECN-marked by this port (step or RED draw) —
-  /// a flight-recorder tap point.
+  /// Cumulative packets ECN-marked by this port's AQM — a
+  /// flight-recorder tap point.
   std::uint64_t ecn_marks() const { return ecn_marks_; }
   bool busy() const { return busy_; }
 
@@ -111,7 +110,6 @@ class EgressPort {
  private:
   void start_tx(Packet pkt);
   void finish_tx(Packet pkt);
-  void maybe_mark_ecn(Packet& pkt) const;
   void sample_queue();
 
   sim::Simulator& sim_;
@@ -120,9 +118,8 @@ class EgressPort {
   Node* peer_ = nullptr;
   int peer_in_port_ = -1;
 
-  EcnConfig ecn_;
-  mutable sim::Rng ecn_rng_{0x9E3779B97F4A7C15ull};
-  mutable std::uint64_t ecn_marks_ = 0;
+  std::unique_ptr<Aqm> aqm_;
+  std::uint64_t ecn_marks_ = 0;
   bool int_enabled_ = false;
   DtSharedBuffer* shared_buffer_ = nullptr;
 

@@ -1,7 +1,9 @@
 #include "net/switch_node.hpp"
 
+#include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
 namespace powertcp::net {
 namespace {
@@ -13,6 +15,22 @@ std::uint64_t mix64(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
   return x ^ (x >> 31);
+}
+
+/// Checked per-Gbps threshold scaling (same guard pattern as the
+/// harness size parser): a NaN/negative/overflowing product is a
+/// configuration error, not silent UB from an out-of-range
+/// double→int64 cast.
+std::int64_t scale_ecn_threshold(const char* which, std::int64_t bytes,
+                                 double gbps) {
+  const double scaled = static_cast<double>(bytes) * gbps;
+  if (!std::isfinite(scaled) || scaled < 0 || scaled > 9.0e18) {
+    throw std::invalid_argument(
+        std::string("Switch::add_port: ecn_per_gbps scaling of ") + which +
+        " (" + std::to_string(bytes) + " B/Gbps x " + std::to_string(gbps) +
+        " Gbps) is out of range");
+  }
+  return static_cast<std::int64_t>(scaled);
 }
 
 }  // namespace
@@ -34,19 +52,23 @@ int Switch::add_port(sim::Bandwidth bw, sim::TimePs propagation) {
   auto port = std::make_unique<BasicPort>(sim_, bw, propagation, std::move(q));
   port->set_shared_buffer(&buffer_);
   port->set_int_enabled(cfg_.int_enabled);
-  if (cfg_.ecn.enabled) {
+  // The default "red" policy is the scheme's ECN marking profile:
+  // installed only when that profile is enabled, preserving the
+  // AQM-free hot path (and RNG stream) of ECN-less fabrics. The
+  // delay-based policies manage the queue whether or not marking is
+  // on — they drop — so they are installed unconditionally.
+  if (cfg_.ecn.enabled || cfg_.aqm.kind != "red") {
     EcnConfig ecn = cfg_.ecn;
-    if (cfg_.ecn_per_gbps) {
+    if (cfg_.ecn.enabled && cfg_.ecn_per_gbps) {
       const double gbps = bw.gbps_value();
-      ecn.kmin_bytes = static_cast<std::int64_t>(
-          static_cast<double>(ecn.kmin_bytes) * gbps);
-      ecn.kmax_bytes = static_cast<std::int64_t>(
-          static_cast<double>(ecn.kmax_bytes) * gbps);
+      ecn.kmin_bytes = scale_ecn_threshold("kmin_bytes", ecn.kmin_bytes, gbps);
+      ecn.kmax_bytes = scale_ecn_threshold("kmax_bytes", ecn.kmax_bytes, gbps);
     }
     // Seed deterministically from (switch id, port index).
     const auto seed = mix64((static_cast<std::uint64_t>(id()) << 16) |
                             static_cast<std::uint64_t>(port_count()));
-    port->set_ecn(ecn, seed);
+    port->set_aqm(AqmRegistry::instance().at(cfg_.aqm.kind).make(
+        cfg_.aqm, ecn, bw, seed));
   }
   return attach_port(std::move(port));
 }

@@ -27,6 +27,11 @@ struct SwitchConfig {
   /// Interpret ecn.kmin/kmax as bytes *per Gbps* of port speed, the
   /// usual practice of scaling marking thresholds with line rate.
   bool ecn_per_gbps = false;
+  /// Which AQM variant each port runs and its tunables. The default
+  /// ("red") reuses `ecn` above and is byte-identical to the historical
+  /// fused marking; "pie"/"pi2" run delay-based probabilistic policies
+  /// and are installed even when `ecn.enabled` is false (they drop).
+  AqmSpec aqm;
   bool int_enabled = true;
   /// 0 = FIFO ports; >0 = strict-priority ports with this many bands
   /// (the HOMA configuration).

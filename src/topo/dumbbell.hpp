@@ -23,6 +23,7 @@ struct DumbbellConfig {
   double dt_alpha = 1.0;
   bool int_enabled = true;
   net::EcnConfig ecn;  ///< absolute thresholds (single bottleneck)
+  net::AqmSpec aqm;    ///< per-port queue policy ("red" = `ecn` above)
   int priority_bands = 0;
 };
 

@@ -33,6 +33,7 @@ FatTree::FatTree(net::Network& network, const FatTreeConfig& cfg)
     sc.int_enabled = cfg_.int_enabled;
     sc.ecn = cfg_.ecn;
     sc.ecn_per_gbps = cfg_.ecn.enabled;
+    sc.aqm = cfg_.aqm;
     sc.priority_bands = cfg_.priority_bands;
     return sc;
   };

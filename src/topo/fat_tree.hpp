@@ -36,6 +36,7 @@ struct FatTreeConfig {
   double dt_alpha = 1.0;
   bool int_enabled = true;
   net::EcnConfig ecn;      ///< optional; thresholds per Gbps
+  net::AqmSpec aqm;        ///< per-port queue policy ("red" = `ecn` above)
   int priority_bands = 0;  ///< >0 for the HOMA configuration
 
   /// Paper-quick scaled-down preset: 8 servers/ToR at 25 G hosts with

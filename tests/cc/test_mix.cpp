@@ -1,0 +1,116 @@
+/// cc_mix parsing and per-host assignment: separator/weight syntax,
+/// normalization, rejection paths, largest-remainder quota exactness,
+/// and seed-deterministic placement.
+
+#include "cc/mix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace powertcp::cc {
+namespace {
+
+TEST(Mix, ParsesWeightedMembersWithPlusOrCommaSeparators) {
+  for (const char* spec :
+       {"dctcp:0.5+powertcp:0.5", "dctcp:0.5, powertcp:0.5",
+        " dctcp : 0.5 + powertcp : 0.5 "}) {
+    const auto mix = parse_cc_mix(spec);
+    ASSERT_EQ(mix.size(), 2u) << spec;
+    EXPECT_EQ(mix[0].label, "dctcp");
+    EXPECT_EQ(mix[1].label, "powertcp");
+    EXPECT_DOUBLE_EQ(mix[0].weight, 0.5);
+    EXPECT_DOUBLE_EQ(mix[1].weight, 0.5);
+  }
+}
+
+TEST(Mix, NormalizesWeightsAndDefaultsThemToOne) {
+  const auto even = parse_cc_mix("dctcp+powertcp");
+  ASSERT_EQ(even.size(), 2u);
+  EXPECT_DOUBLE_EQ(even[0].weight, 0.5);
+  EXPECT_DOUBLE_EQ(even[1].weight, 0.5);
+
+  const auto skewed = parse_cc_mix("dctcp:3+powertcp");
+  EXPECT_DOUBLE_EQ(skewed[0].weight, 0.75);
+  EXPECT_DOUBLE_EQ(skewed[1].weight, 0.25);
+
+  const auto single = parse_cc_mix("powertcp");
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0].weight, 1.0);
+}
+
+TEST(Mix, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_cc_mix(""), std::invalid_argument);
+  EXPECT_THROW(parse_cc_mix("dctcp+"), std::invalid_argument);
+  EXPECT_THROW(parse_cc_mix("dctcp:"), std::invalid_argument);
+  EXPECT_THROW(parse_cc_mix(":0.5"), std::invalid_argument);
+  EXPECT_THROW(parse_cc_mix("dctcp:zero"), std::invalid_argument);
+  EXPECT_THROW(parse_cc_mix("dctcp:0.5x"), std::invalid_argument);
+  EXPECT_THROW(parse_cc_mix("dctcp:0"), std::invalid_argument);
+  EXPECT_THROW(parse_cc_mix("dctcp:-1"), std::invalid_argument);
+  EXPECT_THROW(parse_cc_mix("dctcp:nan"), std::invalid_argument);
+  EXPECT_THROW(parse_cc_mix("dctcp+dctcp"), std::invalid_argument);
+}
+
+TEST(Mix, DisplayShowsNormalizedWeights) {
+  EXPECT_EQ(mix_display(parse_cc_mix("dctcp:1+powertcp:1")),
+            "dctcp:0.50+powertcp:0.50");
+  EXPECT_EQ(mix_display(parse_cc_mix("powertcp")), "powertcp:1.00");
+}
+
+std::vector<int> member_counts(const std::vector<int>& assignment,
+                               std::size_t k) {
+  std::vector<int> counts(k, 0);
+  for (const int m : assignment) {
+    EXPECT_GE(m, 0);
+    EXPECT_LT(m, static_cast<int>(k));
+    ++counts[static_cast<std::size_t>(m)];
+  }
+  return counts;
+}
+
+TEST(Mix, AssignmentQuotasAreExactLargestRemainder) {
+  // 50/50 over 9 hosts: the first-listed member wins the odd host.
+  const auto even = parse_cc_mix("a+b");
+  EXPECT_EQ(member_counts(mix_assignment(even, 9, 1), 2),
+            (std::vector<int>{5, 4}));
+  // 60/40 over 10 hosts: exact.
+  const auto skewed = parse_cc_mix("a:0.6+b:0.4");
+  EXPECT_EQ(member_counts(mix_assignment(skewed, 10, 1), 2),
+            (std::vector<int>{6, 4}));
+  // 1/3 each over 7: floors 2,2,2, leftover to the equal remainders
+  // in member order.
+  const auto thirds = parse_cc_mix("a+b+c");
+  EXPECT_EQ(member_counts(mix_assignment(thirds, 7, 1), 3),
+            (std::vector<int>{3, 2, 2}));
+  // Degenerate sizes.
+  EXPECT_TRUE(mix_assignment(even, 0, 1).empty());
+  EXPECT_EQ(mix_assignment(even, 1, 1).size(), 1u);
+}
+
+TEST(Mix, AssignmentIsDeterministicInTheSeedAndShuffledAcrossHosts) {
+  const auto mix = parse_cc_mix("a+b");
+  const auto first = mix_assignment(mix, 64, 42);
+  EXPECT_EQ(first, mix_assignment(mix, 64, 42));
+  // A different seed permutes placement without changing the quotas.
+  const auto other = mix_assignment(mix, 64, 43);
+  EXPECT_EQ(member_counts(first, 2), member_counts(other, 2));
+  EXPECT_NE(first, other);
+  // The shuffle actually interleaves members (not a block layout).
+  EXPECT_NE(first, [] {
+    std::vector<int> blocks(64, 0);
+    std::fill(blocks.begin() + 32, blocks.end(), 1);
+    return blocks;
+  }());
+}
+
+TEST(Mix, AssignmentRejectsDegenerateInputs) {
+  EXPECT_THROW(mix_assignment({}, 4, 1), std::invalid_argument);
+  EXPECT_THROW(mix_assignment(parse_cc_mix("a"), -1, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powertcp::cc

@@ -1,0 +1,94 @@
+/// Byte-identity goldens for every shipped config: each file in
+/// configs/ must render exactly the text/CSV/JSON captured in
+/// tests/goldens/ before the AQM-layer refactor. This is the
+/// regression fence for the pluggable-AQM work — the default "red"
+/// policy (and the whole runner pipeline behind it) may not change a
+/// single byte of any pre-existing experiment.
+///
+/// The fixture name is deliberately outside the tsan test filter:
+/// these runs are the heaviest in the suite and the pool race they
+/// would exercise is already covered by the SweepRunner/Runner tests.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/runner.hpp"
+
+#ifndef POWERTCP_SOURCE_DIR
+#define POWERTCP_SOURCE_DIR "."
+#endif
+
+namespace powertcp::harness {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ADD_FAILURE() << "missing file: " << path;
+    return {};
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Renders tables exactly as `powertcp_run` does: text with a blank
+/// line between tables (BenchReporter::add), the long-format CSV with
+/// its header (BenchReporter::finish with a fresh file), and the JSON
+/// document with the fixed "powertcp_run" bench name.
+struct Rendered {
+  std::string text;
+  std::string csv;
+  std::string json;
+};
+
+Rendered render_like_cli(const std::vector<ResultTable>& tables) {
+  Rendered r;
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) r.text += "\n";
+    r.text += tables[i].render_text();
+  }
+  r.csv = ResultTable::csv_header();
+  for (const auto& t : tables) t.append_csv(r.csv);
+  r.json = "{\n  \"bench\": \"powertcp_run\",\n  \"tables\": [\n";
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    tables[i].append_json(r.json, 4);
+    r.json += i + 1 < tables.size() ? ",\n" : "\n";
+  }
+  r.json += "  ]\n}\n";
+  return r;
+}
+
+class ConfigGolden : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ConfigGolden, MatchesPreRefactorOutputByteForByte) {
+  const std::string name = GetParam();
+  const std::string root = POWERTCP_SOURCE_DIR;
+  const auto cfg = load_runner_config(
+      ConfigFile::parse_file(root + "/configs/" + name + ".toml"));
+  const unsigned hw = std::thread::hardware_concurrency();
+  const SweepRunner runner(hw == 0 ? 1 : static_cast<int>(hw));
+  const Rendered got = render_like_cli(run_config(cfg, runner));
+
+  EXPECT_EQ(got.text, slurp(root + "/tests/goldens/" + name + ".txt"));
+  EXPECT_EQ(got.csv, slurp(root + "/tests/goldens/" + name + ".csv"));
+  EXPECT_EQ(got.json, slurp(root + "/tests/goldens/" + name + ".json"));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShippedConfigs, ConfigGolden,
+                         ::testing::Values("fig2_reaction", "fig4_quick",
+                                           "fig5_quick", "fig6_quick",
+                                           "fig7_load_sweep", "fig8_quick",
+                                           "fig9_oc"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace powertcp::harness

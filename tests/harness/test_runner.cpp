@@ -596,5 +596,164 @@ gamma = 0.1
   EXPECT_EQ(kind.schemes[1].params.at("gamma"), "0.1");
 }
 
+// ---- mixed_cc / fluid_phase / [aqm] --------------------------------
+
+RunnerConfig mini_mixed_config(const std::string& extra = "") {
+  const auto file = ConfigFile::parse(
+      "[experiment]\n"
+      "kind = mixed_cc\n"
+      "slug = mini\n"
+      "schemes = dctcp, powertcp\n"
+      "seed = 7\n"
+      "[workload]\n"
+      "cc_mix = dctcp:0.5+powertcp:0.5\n"
+      "senders = 6\n"
+      "flow_mb = 0.5\n"
+      "horizon_ms = 2\n" +
+          extra,
+      "mixed.toml");
+  return load_runner_config(file);
+}
+
+TEST(Runner, MixedCcConfigResolvesMembersFromSchemeLabels) {
+  const RunnerConfig cfg = mini_mixed_config("[cc.dctcp]\ng = 0.125\n");
+  EXPECT_EQ(cfg.kind, "mixed_cc");
+  const MixedCcKindConfig& kind = as_kind<MixedCcKindConfig>(cfg);
+  EXPECT_EQ(kind.slug_prefix, "mini");
+  EXPECT_EQ(kind.mixed.seed, 7u);
+  EXPECT_EQ(kind.mixed.senders, 6);
+  EXPECT_EQ(kind.mixed.flow_bytes, 500'000);
+  ASSERT_EQ(kind.mixed.mixes.size(), 1u);
+  const MixedCcMix& mix = kind.mixed.mixes[0];
+  EXPECT_EQ(mix.display, "dctcp:0.50+powertcp:0.50");
+  ASSERT_EQ(mix.members.size(), 2u);
+  EXPECT_EQ(mix.members[0].scheme, "dctcp");
+  // [cc.<label>] params flow through to the mix member.
+  EXPECT_EQ(mix.members[0].params.at("g"), "0.125");
+  EXPECT_EQ(mix.members[1].scheme, "powertcp");
+  EXPECT_DOUBLE_EQ(mix.weights[0], 0.5);
+  EXPECT_DOUBLE_EQ(mix.weights[1], 0.5);
+  // Defaults: the red AQM, one rtt point, no buffer override.
+  EXPECT_EQ(kind.mixed.aqm_kinds, (std::vector<std::string>{"red"}));
+  EXPECT_TRUE(kind.mixed.buffer_bytes.empty());
+}
+
+TEST(Runner, MixedCcTablesAreByteIdenticalAcrossThreadCounts) {
+  const RunnerConfig cfg =
+      mini_mixed_config("aqm = red, pie\nbuffer_kb = 0, 16\n");
+  const auto t1 = render_all(run_config(cfg, SweepRunner(1)));
+  const auto t4 = render_all(run_config(cfg, SweepRunner(4)));
+  EXPECT_EQ(t1, t4);
+  // Three tables (fairness, share, fct) with per-cell rows.
+  EXPECT_NE(t1.find("mini_fairness"), std::string::npos);
+  EXPECT_NE(t1.find("mini_share"), std::string::npos);
+  EXPECT_NE(t1.find("mini_fct"), std::string::npos);
+  EXPECT_NE(t1.find("dctcp:0.50+powertcp:0.50"), std::string::npos);
+  EXPECT_NE(t1.find("pie"), std::string::npos);
+}
+
+TEST(Runner, MixedCcLoaderRejectsBadMixesWithFileLineContext) {
+  const auto load = [](const std::string& workload) {
+    return load_runner_config(ConfigFile::parse(
+        "[experiment]\nkind = mixed_cc\nschemes = dctcp, powertcp, homa, "
+        "retcp\n[workload]\n" +
+            workload,
+        "badmix.toml"));
+  };
+  // A message transport in a mix is a load-time ConfigError carrying
+  // the cc_mix entry's line, not a run-time crash.
+  try {
+    load("cc_mix = dctcp+homa\n");
+    FAIL() << "homa mix member should be rejected";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("badmix.toml:5"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("message transport"),
+              std::string::npos);
+  }
+  // Circuit-bound schemes cannot share the coexistence dumbbell.
+  EXPECT_THROW(load("cc_mix = dctcp+retcp\n"), ConfigError);
+  // Members must come from the resolved schemes list.
+  EXPECT_THROW(load("cc_mix = dctcp+timely\n"), ConfigError);
+  // Malformed member syntax, empty list, unknown AQM kind, bad axes.
+  EXPECT_THROW(load("cc_mix = dctcp:0+powertcp\n"), ConfigError);
+  EXPECT_THROW(load(""), ConfigError);
+  EXPECT_THROW(load("cc_mix = dctcp\naqm = codel\n"), ConfigError);
+  EXPECT_THROW(load("cc_mix = dctcp\nrtt_us = 0\n"), ConfigError);
+  EXPECT_THROW(load("cc_mix = dctcp\nbuffer_kb = -4\n"), ConfigError);
+  EXPECT_THROW(load("cc_mix = dctcp\nsenders = 0\n"), ConfigError);
+}
+
+TEST(Runner, AqmSectionParsesAndRejectsBadValues) {
+  const auto load = [](const std::string& aqm) {
+    return load_runner_config(ConfigFile::parse(
+        "[experiment]\nkind = dumbbell\nschemes = dctcp\n"
+        "[workload]\nhorizon_ms = 1\n" +
+            aqm,
+        "aqm.toml"));
+  };
+  // Default: red, untouched pre-refactor behavior.
+  EXPECT_EQ(as_kind<DumbbellKindConfig>(load("")).dumbbell.topo.aqm.kind,
+            "red");
+  const auto pie = load("[aqm]\nkind = pie\ntarget_us = 40\nalpha = 0.25\n");
+  const net::AqmSpec& spec =
+      as_kind<DumbbellKindConfig>(pie).dumbbell.topo.aqm;
+  EXPECT_EQ(spec.kind, "pie");
+  EXPECT_DOUBLE_EQ(spec.target_us, 40.0);
+  EXPECT_DOUBLE_EQ(spec.alpha, 0.25);
+  EXPECT_DOUBLE_EQ(spec.tupdate_us, 20.0);  // untouched default
+  EXPECT_THROW(load("[aqm]\nkind = codel\n"), ConfigError);
+  EXPECT_THROW(load("[aqm]\ntarget_us = 0\n"), ConfigError);
+  EXPECT_THROW(load("[aqm]\necn_threshold = 1.5\n"), ConfigError);
+  EXPECT_THROW(load("[aqm]\nkindd = pie\n"), ConfigError);  // unknown key
+}
+
+TEST(Runner, FluidPhaseConfigMirrorsTheFig3Bench) {
+  const auto file = ConfigFile::parse(R"(
+[experiment]
+kind = fluid_phase
+slug = fig3
+schemes = powertcp
+)",
+                                      "fig3.toml");
+  const RunnerConfig cfg = load_runner_config(file);
+  const auto tables = run_config(cfg, SweepRunner(1));
+  // Three per-law portraits + summary + theorem table.
+  ASSERT_EQ(tables.size(), 5u);
+  EXPECT_EQ(tables[0].slug, "fig3_voltage");
+  EXPECT_EQ(tables[1].slug, "fig3_current");
+  EXPECT_EQ(tables[2].slug, "fig3_power");
+  EXPECT_EQ(tables[3].slug, "fig3_summary");
+  EXPECT_EQ(tables[4].slug, "fig3_stability");
+  const std::string summary = tables[3].render_text();
+  // The figure's three claims: voltage undershoots the BDP line,
+  // current has no unique equilibrium (empty eq cells), power is
+  // loss-free with a unique equilibrium.
+  EXPECT_NE(summary.find("no loss"), std::string::npos);
+  EXPECT_NE(summary.find("loss"), std::string::npos);
+  const std::string power_row =
+      summary.substr(summary.find("power"));
+  EXPECT_NE(power_row.find("no loss"), std::string::npos);
+  // Deterministic closed forms: byte-identical across thread counts.
+  EXPECT_EQ(render_all(tables),
+            render_all(run_config(cfg, SweepRunner(3))));
+}
+
+TEST(Runner, FluidPhaseLoaderValidatesGridAndParameters) {
+  const auto load = [](const std::string& extra) {
+    return load_runner_config(ConfigFile::parse(
+        "[experiment]\nkind = fluid_phase\nschemes = powertcp\n" + extra,
+        "fluid.toml"));
+  };
+  EXPECT_NO_THROW(load("[workload]\ngrid_w_bdp = 1\ngrid_q_bdp = 0\n"));
+  EXPECT_THROW(load("[topology]\nbandwidth_gbps = 0\n"), ConfigError);
+  EXPECT_THROW(load("[workload]\nstep_us = 0\n"), ConfigError);
+  EXPECT_THROW(load("[workload]\ngrid_w_bdp = 1, 2\ngrid_q_bdp = 0\n"),
+               ConfigError);
+  EXPECT_THROW(load("[workload]\ngrid_w_bdp = 0\ngrid_q_bdp = 0\n"),
+               ConfigError);
+}
+
 }  // namespace
 }  // namespace powertcp::harness

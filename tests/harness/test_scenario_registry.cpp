@@ -19,7 +19,8 @@ namespace {
 TEST(ScenarioRegistry, BuiltinKindsAreRegisteredInOrder) {
   const auto& reg = ScenarioRegistry::instance();
   const std::vector<std::string> expected = {
-      "fat_tree", "incast", "rdcn", "dumbbell", "homa_oc", "single_flow"};
+      "fat_tree", "incast",      "rdcn",     "dumbbell",
+      "homa_oc",  "single_flow", "mixed_cc", "fluid_phase"};
   EXPECT_EQ(reg.names(), expected);
   for (const auto& name : expected) {
     const ScenarioEntry* e = reg.find(name);
