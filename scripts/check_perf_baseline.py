@@ -22,6 +22,19 @@ baseline (bench/baselines/perf.json). Two classes of metric, two rules:
 Structure (tables, columns, row keys) must match exactly, like
 scripts/check_sweep_baseline.py.
 
+The baseline may additionally carry a top-level `floors` list of
+absolute per-workload minimums:
+
+    "floors": [{"table": "event_engine_burst",
+                "row": {"workload": "ack-train x64"},
+                "metric": "speedup", "min": 3.0}]
+
+Each floor requires the BEST repeat of that cell to stay >= `min` —
+an absolute bar (e.g. "burst mode must keep ack trains at least 3x
+faster"), unlike the relative drift band above. A floor that names an
+unknown table, row, or metric is malformed input (exit 2), so a
+renamed workload cannot silently un-gate its floor.
+
 Exit code 0 = gate passed, 1 = regression/structure failure,
 2 = usage error or malformed/unreadable input.
 """
@@ -76,7 +89,7 @@ def load_document(path):
         if t["slug"] in tables:
             raise MalformedInput(f"{path}: duplicate table slug {t['slug']!r}")
         tables[t["slug"]] = t
-    return tables
+    return tables, doc.get("floors", [])
 
 
 def check_structure(path, tables, base_path, base_tables):
@@ -101,6 +114,48 @@ def check_structure(path, tables, base_path, base_tables):
     return ok
 
 
+def find_floor_row(base_path, table, keys):
+    matches = [r for r in table["rows"] if r["keys"] == keys]
+    if len(matches) != 1:
+        raise MalformedInput(
+            f"{base_path}: floor row {keys!r} matches {len(matches)} rows in "
+            f"{table['slug']!r} (want exactly 1)")
+    return table["rows"].index(matches[0])
+
+
+def check_floors(base_path, base_tables, floors, cur_docs):
+    if not isinstance(floors, list):
+        raise MalformedInput(f"{base_path}: 'floors' must be a list")
+    checked = 0
+    for fl in floors:
+        if not isinstance(fl, dict) or \
+                not {"table", "row", "metric", "min"} <= set(fl):
+            raise MalformedInput(
+                f"{base_path}: floor {fl!r} needs table/row/metric/min")
+        slug, keys, metric = fl["table"], fl["row"], fl["metric"]
+        if slug not in base_tables:
+            raise MalformedInput(
+                f"{base_path}: floor names unknown table {slug!r}")
+        base = base_tables[slug]
+        if metric not in base["value_columns"]:
+            raise MalformedInput(
+                f"{base_path}: floor names unknown metric {metric!r} in "
+                f"{slug!r}")
+        if not is_number(fl["min"]):
+            raise MalformedInput(
+                f"{base_path}: floor min {fl['min']!r} is not a number")
+        i = find_floor_row(base_path, base, keys)
+        cvs = [cell(p, slug, tables[slug]["rows"][i], metric)
+               for p, tables in cur_docs]
+        checked += 1
+        best = max(cvs)
+        if best < fl["min"]:
+            fail(f"{slug}: {metric} @ {keys} below floor: best of "
+                 f"{len(cvs)} repeat(s) {best:.2f} < required minimum "
+                 f"{fl['min']:.2f}")
+    return checked
+
+
 def cell(path, table, row, metric):
     v = row["values"].get(metric)
     if not is_number(v) or not math.isfinite(v):
@@ -116,8 +171,8 @@ def main(argv):
         return 2
     base_path, cur_paths = argv[1], argv[2:]
     try:
-        base_tables = load_document(base_path)
-        cur_docs = [(p, load_document(p)) for p in cur_paths]
+        base_tables, floors = load_document(base_path)
+        cur_docs = [(p, load_document(p)[0]) for p in cur_paths]
 
         structure_ok = all(
             check_structure(p, tables, base_path, base_tables)
@@ -154,6 +209,7 @@ def main(argv):
                              f"regressed: best of {len(cvs)} repeat(s) "
                              f"{best:.2f} < baseline {bv:.2f} - "
                              f"{allowed:.0%} (repeat spread {spread:.0%})")
+        checked += check_floors(base_path, base_tables, floors, cur_docs)
     except MalformedInput as e:
         print(f"check_perf_baseline: malformed input: {e}", file=sys.stderr)
         return 2

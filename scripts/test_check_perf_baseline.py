@@ -182,6 +182,81 @@ class GateTest(unittest.TestCase):
         code, _ = self.run_gate(os.path.join(self.tmp.name, "only.json"))
         self.assertEqual(code, 2)
 
+    # ---- absolute per-workload floors ------------------------------
+
+    @staticmethod
+    def with_floor(doc, metric="heap Mev/s", minimum=3.0, table=None,
+                   row=None):
+        doc = copy.deepcopy(doc)
+        doc["floors"] = [{
+            "table": table or "event_engine",
+            "row": row or {"workload": "dumbbell packet sim"},
+            "metric": metric,
+            "min": minimum,
+        }]
+        return doc
+
+    def test_floor_above_minimum_passes(self):
+        base = self.write("base.json",
+                          self.with_floor(document(heap_mops=10.0)))
+        cur = self.write("cur.json", document(heap_mops=9.0))
+        code, _ = self.run_gate(base, cur)
+        self.assertEqual(code, 0)
+
+    def test_floor_violation_fails_even_inside_drift_band(self):
+        # 8.0 is well inside the 40% loose band vs baseline 10.0, but
+        # the absolute floor of 9.0 still fails it.
+        base = self.write("base.json",
+                          self.with_floor(document(heap_mops=10.0),
+                                          minimum=9.0))
+        cur = self.write("cur.json", document(heap_mops=8.0))
+        code, text = self.run_gate(base, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("below floor", text)
+
+    def test_floor_gates_best_of_repeats(self):
+        base = self.write("base.json",
+                          self.with_floor(document(heap_mops=10.0),
+                                          minimum=9.0))
+        cur = [self.write(f"cur{i}.json", document(heap_mops=m))
+               for i, m in enumerate([8.0, 9.5])]
+        code, _ = self.run_gate(base, *cur)
+        self.assertEqual(code, 0)
+
+    def test_floor_unknown_table_rejected(self):
+        base = self.write("base.json",
+                          self.with_floor(document(), table="no_such"))
+        cur = self.write("cur.json", document())
+        code, text = self.run_gate(base, cur)
+        self.assertEqual(code, 2)
+        self.assertIn("unknown table", text)
+
+    def test_floor_unknown_row_rejected(self):
+        base = self.write("base.json",
+                          self.with_floor(document(),
+                                          row={"workload": "renamed"}))
+        cur = self.write("cur.json", document())
+        code, text = self.run_gate(base, cur)
+        self.assertEqual(code, 2)
+        self.assertIn("matches 0 rows", text)
+
+    def test_floor_unknown_metric_rejected(self):
+        base = self.write("base.json",
+                          self.with_floor(document(), metric="speedup"))
+        cur = self.write("cur.json", document())
+        code, text = self.run_gate(base, cur)
+        self.assertEqual(code, 2)
+        self.assertIn("unknown metric", text)
+
+    def test_floor_missing_field_rejected(self):
+        doc = document()
+        doc["floors"] = [{"table": "event_engine", "min": 1.0}]
+        base = self.write("base.json", doc)
+        cur = self.write("cur.json", document())
+        code, text = self.run_gate(base, cur)
+        self.assertEqual(code, 2)
+        self.assertIn("table/row/metric/min", text)
+
 
 if __name__ == "__main__":
     unittest.main()

@@ -78,6 +78,7 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
   }
   topo_cfg.int_enabled = true;
   topo::FatTree fabric(network, topo_cfg);
+  apply_burst(cfg.burst, simulator, network);
 
   ExperimentResult result;
   result.tau = fabric.max_base_rtt();

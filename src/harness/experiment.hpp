@@ -6,6 +6,7 @@
 
 #include "cc/mix.hpp"
 #include "cc/params.hpp"
+#include "harness/burst.hpp"
 #include "harness/telemetry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -77,6 +78,8 @@ struct FatTreeExperiment {
   /// arrival's sender. Read-only probes — enabling it never changes
   /// the simulation's results (pinned by golden tests).
   TelemetryConfig telemetry;
+  /// Burst-granular event processing (off = legacy per-packet engine).
+  BurstConfig burst;
 };
 
 struct ExperimentResult {

@@ -147,6 +147,7 @@ std::unique_ptr<ScenarioConfig> load_fat_tree_kind(const ConfigFile& file,
   sc->fat_tree.sim_queue = ctx.sim_queue;
   sc->fat_tree.seed = ctx.seed;
   sc->fat_tree.telemetry = ctx.telemetry;
+  sc->fat_tree.burst = ctx.burst;
   load_fat_tree_topology(topo, &sc->fat_tree.topo, file);
   sc->fat_tree.topo.aqm = ctx.aqm;
   sc->loads = work.get_double_list("loads", sc->loads);
@@ -181,6 +182,7 @@ std::unique_ptr<ScenarioConfig> load_incast_kind(const ConfigFile& file,
   sc->slug_prefix = ctx.slug_prefix;
   sc->incast.sim_queue = ctx.sim_queue;
   sc->incast.telemetry = ctx.telemetry;
+  sc->incast.burst = ctx.burst;
   load_fat_tree_topology(topo, &sc->incast.topo, file);
   sc->incast.topo.aqm = ctx.aqm;
   sc->query_kb = work.get_double_list("query_kb", sc->query_kb);
@@ -234,6 +236,7 @@ std::unique_ptr<ScenarioConfig> load_rdcn_kind(const ConfigFile& file,
   sc->slug_prefix = ctx.slug_prefix;
   sc->rdcn.sim_queue = ctx.sim_queue;
   sc->rdcn.telemetry = ctx.telemetry;
+  sc->rdcn.burst = ctx.burst;
   const std::string preset = topo.get_string("preset", "paper");
   if (preset == "small") {
     sc->rdcn.topo = topo::RdcnConfig::small();
@@ -308,6 +311,7 @@ std::unique_ptr<ScenarioConfig> load_dumbbell_kind(const ConfigFile& file,
   DumbbellScenario& d = sc->dumbbell;
   d.sim_queue = ctx.sim_queue;
   d.telemetry = ctx.telemetry;
+  d.burst = ctx.burst;
   d.topo.aqm = ctx.aqm;
   if (topo.has("host_gbps")) {
     d.topo.host_bw = sim::Bandwidth::gbps(topo.get_double("host_gbps", 0));
@@ -343,6 +347,7 @@ std::unique_ptr<ScenarioConfig> load_homa_oc_kind(const ConfigFile& file,
   HomaOcScenario& h = sc->homa_oc;
   h.sim_queue = ctx.sim_queue;
   h.telemetry = ctx.telemetry;
+  h.burst = ctx.burst;
   load_fat_tree_topology(topo, &h.incast_topo, file);
   h.incast_topo.aqm = ctx.aqm;
   h.fairness.topo.aqm = ctx.aqm;
@@ -412,6 +417,7 @@ std::unique_ptr<ScenarioConfig> load_mixed_cc_kind(const ConfigFile& file,
   sc->slug_prefix = ctx.slug_prefix;
   MixedCcScenario& m = sc->mixed;
   m.sim_queue = ctx.sim_queue;
+  m.burst = ctx.burst;
   m.seed = ctx.seed;
   m.aqm = ctx.aqm;
   if (topo.has("host_gbps")) {
@@ -662,10 +668,25 @@ RunnerConfig load_runner_config(const ConfigFile& file,
     throw ConfigError(file.origin() + ": [experiment] sim_queue = '" + queue +
                       "' is not one of heap, calendar");
   }
+  // Burst-granular event processing. Off is byte-identical to the
+  // per-packet engine (pinned by the golden tests); on is pinned
+  // table-identical for every shipped config.
+  const std::string burst_knob = exp.get_string("sim_burst", "off");
+  bool burst_on = false;
+  if (burst_knob == "on") {
+    burst_on = true;
+  } else if (burst_knob != "off") {
+    throw ConfigError(file.origin() + ": [experiment] sim_burst = '" +
+                      burst_knob + "' is not one of on, off");
+  }
   exp.finish();
 
   ctx.telemetry = load_telemetry_config(file);
   if (options.force_telemetry) ctx.telemetry.enabled = true;
+
+  ctx.burst = load_burst_config(file);
+  ctx.burst.enabled = burst_on;
+  if (options.force_burst != 0) ctx.burst.enabled = options.force_burst > 0;
 
   // Optional [aqm] section: the switch marking/drop policy. The
   // default ("red") keeps every pre-AQM-layer config byte-identical
@@ -710,7 +731,7 @@ RunnerConfig load_runner_config(const ConfigFile& file,
   // Reject sections the loader never looked at (typos, or [cc.X] for a
   // scheme the `schemes` list does not run).
   std::set<std::string> known = {"experiment", "topology", "workload",
-                                 "telemetry", "aqm"};
+                                 "telemetry", "aqm", "burst"};
   for (const auto& name : scheme_names) known.insert("cc." + name);
   for (const auto& sec : file.sections()) {
     if (known.count(sec.name) == 0) {

@@ -37,6 +37,10 @@
 ///                              # deterministic time-series shapes)
 ///                              # ignore them
 ///   sim_queue = heap           # heap | calendar (backend-identical)
+///   sim_burst = off            # on | off; burst-granular event engine
+///                              # (off is byte-identical to the
+///                              # per-packet engine, on is pinned
+///                              # table-identical for shipped configs)
 ///
 ///   [topology]                 # kind-specific presets + overrides
 ///   preset = quick             # fat-tree: quick | paper
@@ -51,6 +55,11 @@
 ///   kind = red                 # red (default) | pie | pi2
 ///   target_us = 20             # PI controllers: target queue delay
 ///   tupdate_us = 20            # ... and update period
+///
+///   [burst]                    # optional; burst tunables (burst.hpp)
+///   budget = 64                # max events coalesced per callback
+///   ack_agg_us = 0             # receiver ack aggregation window
+///   pacing_quantum = 1         # packets per pacing-timer tick
 ///
 /// A `[cc.<label>]` section may carry `scheme = <registered name>` to
 /// run one scheme several times under different labels/params (e.g.
@@ -184,6 +193,10 @@ struct RunnerLoadOptions {
   /// the file has no `[telemetry] enabled = true` (file-set capacity/
   /// period/flow keys still apply).
   bool force_telemetry = false;
+  /// `powertcp_run --sim-burst=on|off`: override `[experiment]
+  /// sim_burst` (0 = no override, 1 = force on, -1 = force off).
+  /// File-set `[burst]` tunables still apply.
+  int force_burst = 0;
 };
 
 /// Builds a RunnerConfig from a parsed file, resolving the kind

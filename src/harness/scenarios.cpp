@@ -66,6 +66,7 @@ IncastSeries run_incast_scenario(const IncastScenario& cfg,
   topo_cfg.ecn = scheme.needs.ecn;
   topo_cfg.priority_bands = scheme.needs.priority_bands;
   topo::FatTree fabric(network, topo_cfg);
+  apply_burst(cfg.burst, simulator, network);
 
   cc::FlowParams params;
   params.host_bw = topo_cfg.host_bw;
@@ -228,6 +229,7 @@ RdcnResult run_rdcn_scenario(const RdcnScenario& cfg,
   sim::Simulator simulator(cfg.sim_queue);
   net::Network network(simulator);
   topo::Rdcn rdcn(network, cfg.topo);
+  apply_burst(cfg.burst, simulator, network);
 
   cc::FlowParams params;
   params.host_bw = cfg.topo.host_bw;
@@ -361,6 +363,7 @@ DumbbellSeries run_dumbbell_scenario(const DumbbellScenario& cfg,
   topo_cfg.ecn = scheme.needs.ecn;
   topo_cfg.priority_bands = scheme.needs.priority_bands;
   topo::Dumbbell topo(network, topo_cfg);
+  apply_burst(cfg.burst, simulator, network);
 
   cc::FlowParams params;
   params.host_bw = topo_cfg.host_bw;
@@ -492,6 +495,7 @@ HomaOcIncastResult run_homa_oc_incast(const HomaOcScenario& cfg,
   topo_cfg.ecn = scheme.needs.ecn;
   topo_cfg.priority_bands = scheme.needs.priority_bands;
   topo::FatTree fabric(network, topo_cfg);
+  apply_burst(cfg.burst, simulator, network);
 
   cc::FlowParams params;
   params.host_bw = topo_cfg.host_bw;
@@ -575,6 +579,7 @@ std::vector<ResultTable> homa_oc_tables(const SweepRunner& runner,
   DumbbellScenario fairness = cfg.fairness;
   fairness.sim_queue = cfg.sim_queue;
   fairness.telemetry = cfg.telemetry;
+  fairness.burst = cfg.burst;
   std::vector<std::function<DumbbellSeries()>> fairness_jobs;
   fairness_jobs.reserve(schemes.size() * cfg.overcommit.size());
   std::vector<std::function<HomaOcIncastResult()>> incast_jobs;
@@ -714,6 +719,7 @@ MixedCcCellResult run_mixed_cc_cell(const MixedCcScenario& cfg,
     }
   }
   topo::Dumbbell topo(network, topo_cfg);
+  apply_burst(cfg.burst, simulator, network);
 
   cc::FlowParams params;
   params.host_bw = topo_cfg.host_bw;

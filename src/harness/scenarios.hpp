@@ -6,6 +6,7 @@
 
 #include "cc/params.hpp"
 #include "harness/sweep.hpp"
+#include "harness/burst.hpp"
 #include "harness/telemetry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -53,6 +54,8 @@ struct IncastScenario {
   /// Optional flight recorder on the receiver's ToR downlink + the
   /// long foreground flow.
   TelemetryConfig telemetry;
+  /// Burst-granular event processing (off = legacy per-packet engine).
+  BurstConfig burst;
 };
 
 /// Receiver goodput and bottleneck ToR-downlink queue, one bin each.
@@ -86,6 +89,8 @@ struct RdcnScenario {
   /// Optional flight recorder on ToR-0's circuit port + the
   /// `telemetry.flow`-th rack-0 flow.
   TelemetryConfig telemetry;
+  /// Burst-granular event processing (off = legacy per-packet engine).
+  BurstConfig burst;
 };
 
 struct RdcnResult {
@@ -136,6 +141,8 @@ struct DumbbellScenario {
   /// Optional flight recorder on the bottleneck port + the
   /// `telemetry.flow`-th flow (sender flow-1).
   TelemetryConfig telemetry;
+  /// Burst-granular event processing (off = legacy per-packet engine).
+  BurstConfig burst;
 };
 
 /// Per-flow receiver goodput, one sampled row per table line.
@@ -191,6 +198,8 @@ struct HomaOcScenario {
   /// panel taps the receiver's ToR downlink; message transports have
   /// no sender window, so cwnd/pace read 0 there).
   TelemetryConfig telemetry;
+  /// Burst-granular event processing, applied to both panels.
+  BurstConfig burst;
 };
 
 /// One incast reaction at one (overcommit via scheme params, fan_in)
@@ -241,6 +250,8 @@ struct MixedCcScenario {
   net::AqmSpec aqm;
   /// Event-queue backend; results are backend-independent.
   sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
+  /// Burst-granular event processing (off = legacy per-packet engine).
+  BurstConfig burst;
 
   // Cell axes (outer product, mix-major):
   std::vector<MixedCcMix> mixes;

@@ -29,10 +29,17 @@ namespace powertcp::sim {
 
 /// One pending event. `slot` indexes the Simulator's slot table, which
 /// holds the callback; `seq` disambiguates ties and stale slots.
+/// `burst_key` rides in what used to be struct padding (the entry is 24
+/// bytes either way): a nonzero key marks the event as burst-mergeable —
+/// when the Simulator's burst budget allows, contiguous same-(time, key)
+/// entries are delivered as ONE callback invocation carrying their
+/// summed count (see Simulator::schedule_burst_at). Key 0 (the default)
+/// never merges, so the per-event path is untouched.
 struct EventEntry {
   TimePs time;
   std::uint64_t seq;
   std::uint32_t slot;
+  std::uint32_t burst_key = 0;
 };
 
 class EventQueue {

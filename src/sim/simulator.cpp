@@ -3,10 +3,18 @@
 namespace powertcp::sim {
 
 EventId Simulator::schedule_at(TimePs t, Callback cb) {
+  return schedule_burst_at(t, 1, std::move(cb), 0);
+}
+
+EventId Simulator::schedule_burst_at(TimePs t, std::uint32_t count,
+                                     Callback cb, std::uint32_t merge_key) {
   if (t < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time " +
                                 format_time(t) + " is before now " +
                                 format_time(now_));
+  }
+  if (count == 0) {
+    throw std::invalid_argument("Simulator::schedule_burst_at: count 0");
   }
   const std::uint64_t seq = next_seq_++;
   std::uint32_t slot;
@@ -18,8 +26,9 @@ EventId Simulator::schedule_at(TimePs t, Callback cb) {
     slots_.emplace_back();
   }
   slots_[slot].seq = seq;
+  slots_[slot].burst_count = count;
   slots_[slot].cb = std::move(cb);
-  queue_push(EventEntry{t, seq, slot});
+  queue_push(EventEntry{t, seq, slot, merge_key});
   ++live_events_;
   return EventId{seq, slot};
 }
@@ -35,12 +44,38 @@ bool Simulator::pop_and_run_next(TimePs limit) {
     }
     if (top.time > limit) return false;
     queue_pop();
+    std::uint32_t count = slots_[top.slot].burst_count;
     Callback cb = std::move(slots_[top.slot].cb);
     release_slot(top.slot);
     --live_events_;
+    if (top.burst_key != 0 && burst_budget_ > 1) {
+      // Pop-merge: coalesce the contiguous run of pending entries that
+      // share (time, merge_key), summing their logical counts into one
+      // invocation. Later callbacks in the run are interchangeable with
+      // the first by the schedule_burst_at contract and are released
+      // uninvoked. Tombstones inside the run are discarded in passing;
+      // the first live entry with a different time or key ends the run.
+      while (count < burst_budget_) {
+        const EventEntry* next_ptr = queue_peek();
+        if (next_ptr == nullptr || next_ptr->time != top.time) break;
+        // Copy before popping: the peeked pointer is invalidated by pop.
+        const EventEntry nx = *next_ptr;
+        if (slots_[nx.slot].seq != nx.seq) {
+          queue_pop();
+          continue;
+        }
+        if (nx.burst_key != top.burst_key) break;
+        count += slots_[nx.slot].burst_count;
+        queue_pop();
+        release_slot(nx.slot);
+        --live_events_;
+      }
+    }
     now_ = top.time;
-    ++executed_;
+    executed_ += count;
+    burst_count_ = count;
     cb();
+    burst_count_ = 1;
     return true;
   }
   return false;

@@ -1,0 +1,208 @@
+/// Burst-granular event engine tests: schedule_burst_at, pop-time
+/// merging under a burst budget, and the headline equivalence claim —
+/// the logical event sequence (each callback expanded to burst_count()
+/// events at its now()) is identical for every budget on both queue
+/// backends, and budget 1 is exactly the historical per-event engine.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace powertcp::sim {
+namespace {
+
+TEST(Burst, CountedEntryDeliversOneCallbackForManyEvents) {
+  Simulator s;
+  std::uint32_t seen_count = 0;
+  int fired = 0;
+  s.schedule_burst_at(nanoseconds(10), 7, [&] {
+    ++fired;
+    seen_count = s.burst_count();
+  });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(seen_count, 7u);
+  EXPECT_EQ(s.events_executed(), 7u);
+  EXPECT_EQ(s.burst_count(), 1u);  // resets outside the callback
+}
+
+TEST(Burst, ZeroCountThrows) {
+  Simulator s;
+  EXPECT_THROW(s.schedule_burst_at(0, 0, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.set_burst_budget(0), std::invalid_argument);
+}
+
+TEST(Burst, MergeRunsOnlyTheFirstCallback) {
+  // Three same-(time, key) entries under a large budget: counts sum,
+  // only the first callback runs, the later two are released uninvoked
+  // (the homogeneity contract for nonzero merge keys).
+  Simulator s;
+  s.set_burst_budget(64);
+  std::vector<int> ran;
+  std::uint32_t merged = 0;
+  for (int i = 0; i < 3; ++i) {
+    s.schedule_burst_at(nanoseconds(5), 2,
+                        [&, i] {
+                          ran.push_back(i);
+                          merged = s.burst_count();
+                        },
+                        /*merge_key=*/9);
+  }
+  s.run();
+  ASSERT_EQ(ran.size(), 1u);
+  EXPECT_EQ(ran[0], 0);
+  EXPECT_EQ(merged, 6u);
+  EXPECT_EQ(s.events_executed(), 6u);
+  EXPECT_EQ(s.slot_count(), s.free_slot_count()) << "merged slots leaked";
+}
+
+TEST(Burst, KeyZeroAndBudgetOneNeverMerge) {
+  for (const std::uint32_t budget : {1u, 64u}) {
+    for (const std::uint32_t key : {0u, 5u}) {
+      if (budget > 1 && key != 0) continue;  // the merging combination
+      Simulator s;
+      s.set_burst_budget(budget);
+      int fired = 0;
+      for (int i = 0; i < 4; ++i) {
+        s.schedule_burst_at(nanoseconds(5), 1, [&] { ++fired; }, key);
+      }
+      s.run();
+      EXPECT_EQ(fired, 4) << "budget " << budget << " key " << key;
+      EXPECT_EQ(s.events_executed(), 4u);
+    }
+  }
+}
+
+TEST(Burst, MergeStopsAtDifferentKeyOrTime) {
+  Simulator s;
+  s.set_burst_budget(64);
+  std::vector<std::uint32_t> counts;
+  const auto record = [&] { counts.push_back(s.burst_count()); };
+  // Contiguity in (time, seq) order is what merges: key 7, key 7,
+  // key 8 breaks the run, key 7 again starts a fresh one; the last
+  // entry is one tick later and never joins.
+  s.schedule_burst_at(nanoseconds(5), 1, record, 7);
+  s.schedule_burst_at(nanoseconds(5), 1, record, 7);
+  s.schedule_burst_at(nanoseconds(5), 1, record, 8);
+  s.schedule_burst_at(nanoseconds(5), 1, record, 7);
+  s.schedule_burst_at(nanoseconds(5) + 1, 1, record, 7);
+  s.run();
+  EXPECT_EQ(counts, (std::vector<std::uint32_t>{2, 1, 1, 1}));
+  EXPECT_EQ(s.events_executed(), 5u);
+}
+
+TEST(Burst, BudgetCapsTheMergedCount) {
+  Simulator s;
+  s.set_burst_budget(3);
+  std::vector<std::uint32_t> counts;
+  for (int i = 0; i < 8; ++i) {
+    s.schedule_burst_at(nanoseconds(5), 1,
+                        [&] { counts.push_back(s.burst_count()); }, 4);
+  }
+  s.run();
+  EXPECT_EQ(counts, (std::vector<std::uint32_t>{3, 3, 2}));
+  EXPECT_EQ(s.events_executed(), 8u);
+}
+
+TEST(Burst, CancelledEntryInsideTrainIsSkipped) {
+  // A tombstone between two live same-key entries must not stop the
+  // merge — the pop loop discards it and keeps coalescing.
+  Simulator s;
+  s.set_burst_budget(64);
+  std::vector<std::uint32_t> counts;
+  const auto record = [&] { counts.push_back(s.burst_count()); };
+  s.schedule_burst_at(nanoseconds(5), 1, record, 3);
+  const EventId doomed = s.schedule_burst_at(nanoseconds(5), 1, record, 3);
+  s.schedule_burst_at(nanoseconds(5), 1, record, 3);
+  s.cancel(doomed);
+  s.run();
+  EXPECT_EQ(counts, (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(s.events_executed(), 2u);
+}
+
+TEST(Burst, CalendarBucketEdgeNeverMergesAcrossDistinctTimes) {
+  // Same merge key, adjacent picoseconds, many instants — wherever the
+  // calendar's bucket edges fall, merging must group exactly by
+  // timestamp, never by bucket. Heap backend pins the same grouping.
+  for (const QueueKind kind : {QueueKind::kBinaryHeap, QueueKind::kCalendar}) {
+    Simulator s(kind);
+    s.set_burst_budget(1024);
+    std::vector<std::pair<TimePs, std::uint32_t>> groups;
+    for (int inst = 0; inst < 40; ++inst) {
+      // Straddle power-of-two boundaries: t = k*4096 - 1, k*4096, +1.
+      const TimePs t = static_cast<TimePs>(inst + 1) * 4096 - 1 + (inst % 3);
+      for (int j = 0; j < 5; ++j) {
+        s.schedule_burst_at(t, 1,
+                            [&] { groups.emplace_back(s.now(),
+                                                      s.burst_count()); },
+                            11);
+      }
+    }
+    s.run();
+    ASSERT_EQ(groups.size(), 40u) << "kind " << static_cast<int>(kind);
+    for (const auto& [t, n] : groups) {
+      EXPECT_EQ(n, 5u) << "at t=" << t;
+    }
+    EXPECT_EQ(s.events_executed(), 200u);
+  }
+}
+
+TEST(Burst, LogicalEventSequenceIsBudgetAndBackendInvariant) {
+  // The headline equivalence: a randomized workload of mergeable
+  // trains, plain events, counted bursts, and cancellations expands to
+  // the same logical (time, weight-summed) sequence for budget 1 and
+  // budget 64 on both backends.
+  const auto trace = [](QueueKind kind, std::uint32_t budget) {
+    Simulator s(kind);
+    s.set_burst_budget(budget);
+    Rng rng(0xC0FFEEull);
+    std::vector<TimePs> logical;
+    std::uint64_t pending_rounds = 0;
+    std::function<void()> expand = [&] {
+      for (std::uint32_t i = 0; i < s.burst_count(); ++i) {
+        logical.push_back(s.now());
+      }
+    };
+    std::function<void()> driver = [&] {
+      logical.push_back(s.now());
+      if (++pending_rounds > 300) return;
+      const TimePs base = s.now() + 1 +
+                          static_cast<TimePs>(rng.uniform() * 1e5);
+      // A mergeable train (per-round key avoids cross-round aliasing).
+      const std::uint32_t key =
+          static_cast<std::uint32_t>(pending_rounds % 17 + 1);
+      const int train = 1 + static_cast<int>(rng.uniform() * 6);
+      for (int i = 0; i < train; ++i) {
+        s.schedule_burst_at(base, 1, expand, key);
+      }
+      // A counted burst, a plain event, and a cancelled one.
+      s.schedule_burst_at(base, 2 + static_cast<std::uint32_t>(
+                                        rng.uniform() * 3), expand, 0);
+      s.schedule_at(base + 1, expand);
+      s.cancel(s.schedule_at(base, expand));
+      s.schedule_in(1 + static_cast<TimePs>(rng.uniform() * 1e5), driver);
+    };
+    s.schedule_at(0, driver);
+    s.run();
+    return std::make_pair(logical, s.events_executed());
+  };
+  const auto ref = trace(QueueKind::kBinaryHeap, 1);
+  for (const QueueKind kind : {QueueKind::kBinaryHeap, QueueKind::kCalendar}) {
+    for (const std::uint32_t budget : {1u, 2u, 64u}) {
+      const auto got = trace(kind, budget);
+      EXPECT_EQ(got.first, ref.first)
+          << "kind " << static_cast<int>(kind) << " budget " << budget;
+      EXPECT_EQ(got.second, ref.second);
+    }
+  }
+  EXPECT_GT(ref.first.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace powertcp::sim
