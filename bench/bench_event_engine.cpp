@@ -24,10 +24,13 @@
 
 #include "cc/factory.hpp"
 #include "harness/bench_opts.hpp"
+#include "harness/shard_setup.hpp"
 #include "harness/sweep.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 #include "topo/dumbbell.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/partition.hpp"
 
 using namespace powertcp;
 using harness::Cell;
@@ -295,6 +298,45 @@ std::uint64_t run_paced_stream(sim::QueueKind kind, bool burst,
   return s.events_executed();
 }
 
+/// Sharded engine workload: the paper's fat-tree (quick preset), cut
+/// per pod, with POD-LOCAL long flows — every host streams to the
+/// neighboring rack of its own pod, so no packet crosses the cut and
+/// the partitions stay causally independent (zero boundary
+/// ambiguities, asserted below). This is the speedup ceiling of the
+/// conservative-lookahead engine: shards only meet at window barriers.
+/// Workloads that do tie across the cut fall back to the sequential
+/// engine instead (harness::run_with_exact_fallback), so a bench row
+/// for them would measure the fallback, not the parallel engine.
+struct ShardRun {
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t ambiguities = 0;
+};
+
+ShardRun run_shard_fat_tree(int sim_threads, sim::TimePs horizon) {
+  const topo::FatTreeConfig cfg = topo::FatTreeConfig::quick();
+  harness::ShardedPoint point(topo::fat_tree_shard_plan(cfg, sim_threads),
+                              sim::QueueKind::kBinaryHeap);
+  topo::FatTree fabric(point.network, cfg);
+  cc::FlowParams params;
+  params.host_bw = cfg.host_bw;
+  params.base_rtt = fabric.max_base_rtt();
+  const int pod_hosts = cfg.tors_per_pod * cfg.servers_per_tor;
+  params.expected_flows = pod_hosts;
+  const cc::CcFactory factory = cc::make_factory("powertcp");
+  for (int h = 0; h < fabric.host_count(); ++h) {
+    const int pod_start = h / pod_hosts * pod_hosts;
+    const int partner =
+        pod_start + (h - pod_start + cfg.servers_per_tor) % pod_hosts;
+    fabric.host(h).start_flow(static_cast<net::FlowId>(h + 1),
+                              fabric.host_node(partner), 1'000'000'000,
+                              factory(params), params, 0);
+  }
+  point.engine.run_until(horizon);
+  return {point.engine.events_executed(), point.engine.windows(),
+          point.engine.boundary_ambiguities()};
+}
+
 /// std::function baseline for the churn shape, quantifying the removed
 /// per-event allocation (a capture sized like the old Packet capture).
 std::uint64_t run_std_function_baseline(std::uint64_t events) {
@@ -478,6 +520,53 @@ int main(int argc, char** argv) {
     bt.rows.push_back(std::move(row));
   }
   reporter.add(std::move(bt));
+
+  // Sharded engine: the paper's fat-tree (quick preset) cut per pod,
+  // pod-local traffic so the partitions stay causally independent.
+  // Event counts must agree EXACTLY across thread counts (the byte-
+  // identity bar at event granularity); speedup is wall-clock and
+  // machine-dependent — >1x needs real cores, so it carries no floor.
+  harness::ResultTable st;
+  st.title = "sharded engine: fat-tree quick slice, pod-local flows "
+             "(events exact-gated across sim_threads; speedup needs cores)";
+  st.slug = "event_engine_shard";
+  st.key_columns = {"sim_threads"};
+  st.value_columns = {"Mev/s", "speedup", "events", "windows"};
+  double shard_base_mops = 0;
+  std::uint64_t shard_base_events = 0;
+  for (const int threads : {1, 2, 4}) {
+    ShardRun run;
+    const Measurement m = measure([&] {
+      run = run_shard_fat_tree(threads, horizon);
+      return run.events;
+    });
+    if (run.ambiguities != 0) {
+      std::fprintf(stderr, "FATAL: pod-local shard workload reported %llu "
+                   "boundary ambiguities at sim_threads=%d — the cut "
+                   "leaked causality\n",
+                   static_cast<unsigned long long>(run.ambiguities), threads);
+      return 1;
+    }
+    if (threads == 1) {
+      shard_base_mops = m.mops;
+      shard_base_events = m.events;
+    } else if (m.events != shard_base_events) {
+      std::fprintf(stderr, "FATAL: sharded fat-tree executed %llu events at "
+                   "sim_threads=%d vs %llu at sim_threads=1 — shards "
+                   "diverged\n",
+                   static_cast<unsigned long long>(m.events), threads,
+                   static_cast<unsigned long long>(shard_base_events));
+      return 1;
+    }
+    harness::ResultTable::Row row;
+    row.keys = {Cell::integer(threads)};
+    row.values = {Cell(m.mops, 2),
+                  Cell(shard_base_mops > 0 ? m.mops / shard_base_mops : 0, 2),
+                  Cell::integer(static_cast<std::int64_t>(m.events)),
+                  Cell::integer(static_cast<std::int64_t>(run.windows))};
+    st.rows.push_back(std::move(row));
+  }
+  reporter.add(std::move(st));
 
   // What the rewrite removed: a heap allocation per event for closures
   // that capture a Packet by value.

@@ -2,6 +2,7 @@
 
 #include "host/host.hpp"
 #include "net/network.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 
 namespace powertcp::harness {
@@ -37,9 +38,9 @@ BurstConfig load_burst_config(const ConfigFile& file) {
   return cfg;
 }
 
-void apply_burst(const BurstConfig& cfg, sim::Simulator& sim,
-                 net::Network& network) {
-  if (cfg.enabled) sim.set_burst_budget(cfg.budget);
+namespace {
+
+void apply_burst_hosts(const BurstConfig& cfg, net::Network& network) {
   if (cfg.ack_agg <= 0 && cfg.pacing_quantum <= 1) return;
   for (net::NodeId id = 0; id < network.next_node_id(); ++id) {
     auto* h = dynamic_cast<host::Host*>(&network.node(id));
@@ -51,6 +52,24 @@ void apply_burst(const BurstConfig& cfg, sim::Simulator& sim,
       h->set_sender_config(scfg);
     }
   }
+}
+
+}  // namespace
+
+void apply_burst(const BurstConfig& cfg, sim::Simulator& sim,
+                 net::Network& network) {
+  if (cfg.enabled) sim.set_burst_budget(cfg.budget);
+  apply_burst_hosts(cfg, network);
+}
+
+void apply_burst(const BurstConfig& cfg, sim::ShardedSimulator& engine,
+                 net::Network& network) {
+  if (cfg.enabled) {
+    for (int s = 0; s < engine.shard_count(); ++s) {
+      engine.shard(s).set_burst_budget(cfg.budget);
+    }
+  }
+  apply_burst_hosts(cfg, network);
 }
 
 }  // namespace powertcp::harness

@@ -26,6 +26,7 @@
 
 namespace powertcp::sim {
 class Simulator;
+class ShardedSimulator;
 }
 namespace powertcp::net {
 class Network;
@@ -62,6 +63,11 @@ BurstConfig load_burst_config(const ConfigFile& file);
 /// pacing_quantum to every host in the network (when non-default).
 /// Call after the topology exists and before flows start.
 void apply_burst(const BurstConfig& cfg, sim::Simulator& sim,
+                 net::Network& network);
+
+/// Partitioned-engine variant: the burst budget applies to every shard
+/// (each drains its own queue); the host knobs are set once as above.
+void apply_burst(const BurstConfig& cfg, sim::ShardedSimulator& engine,
                  net::Network& network);
 
 }  // namespace powertcp::harness

@@ -1,15 +1,21 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "cc/registry.hpp"
 #include "host/homa.hpp"
 #include "net/network.hpp"
+#include "harness/shard_setup.hpp"
 #include "sim/rng.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
+#include "topo/partition.hpp"
 #include "workload/traffic_gen.hpp"
 
 namespace powertcp::harness {
@@ -35,9 +41,8 @@ workload::FlowSizeDistribution scaled_websearch(double scale) {
   return workload::FlowSizeDistribution(std::move(points), /*min_bytes=*/100);
 }
 
-}  // namespace
-
-ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
+std::pair<ExperimentResult, std::uint64_t> run_fat_tree_point(
+    const FatTreeExperiment& cfg, int threads) {
   // The registry entry carries everything scheme-specific: the fabric
   // features to configure, the tunable parameters, and the factory (or
   // the message-transport flag) — no scheme is special-cased by name.
@@ -59,8 +64,12 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
     members.push_back(&s);
   }
 
-  sim::Simulator simulator(cfg.sim_queue);
-  net::Network network(simulator);
+  // Partitioned engine: the fat-tree is cut per pod; one shard drives
+  // the whole thing when sim_threads is 1 (or the plan falls back).
+  ShardedPoint point(topo::fat_tree_shard_plan(cfg.topo, threads),
+                     cfg.sim_queue);
+  sim::Simulator& simulator = point.sim();
+  net::Network& network = point.network;
 
   topo::FatTreeConfig topo_cfg = cfg.topo;
   if (single != nullptr) {
@@ -78,7 +87,7 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
   }
   topo_cfg.int_enabled = true;
   topo::FatTree fabric(network, topo_cfg);
-  apply_burst(cfg.burst, simulator, network);
+  apply_burst(cfg.burst, point.engine, network);
 
   ExperimentResult result;
   result.tau = fabric.max_base_rtt();
@@ -120,6 +129,26 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
     return result.tau + topo_cfg.host_bw.tx_time(bytes);
   };
 
+  // Completion callbacks fire on the shard of the host that detects
+  // them, so each shard records into its own sink; the sinks merge
+  // after the run (verbatim for one shard, ordered by (finish,
+  // flow_id) otherwise — cross-shard same-picosecond finishes are the
+  // only case where that could differ from the sequential record
+  // order, and the golden tests pin that it doesn't).
+  struct ShardSink {
+    stats::FctRecorder fct;
+    std::vector<stats::FctRecorder> member_fct;
+    std::uint64_t completed = 0;
+  };
+  std::vector<ShardSink> sinks(static_cast<std::size_t>(point.plan.shards));
+  if (mixed) {
+    for (auto& s : sinks) s.member_fct.resize(cfg.cc_mix.size());
+  }
+  const auto sink_of = [&](int host_index) {
+    return &sinks[static_cast<std::size_t>(
+        network.shard_of(fabric.host_node(host_index)))];
+  };
+
   // ---- flow setup ----
   cc::ParamMap scheme_params = cfg.cc_params;
   if (single != nullptr && single->experiment_defaults) {
@@ -131,16 +160,17 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
       hc.overcommit = cfg.homa_overcommit;
     }
     for (int h = 0; h < fabric.host_count(); ++h) {
+      ShardSink* sink = sink_of(h);
       fabric.host(h).enable_homa(hc).set_message_callback(
-          [&result, &ideal_fct](const host::MessageCompletion& done) {
+          [sink, &ideal_fct](const host::MessageCompletion& done) {
             stats::FlowRecord rec;
             rec.flow_id = done.message;
             rec.size_bytes = done.size_bytes;
             rec.start = done.start;
             rec.finish = done.finish;
             rec.ideal = ideal_fct(done.size_bytes);
-            result.fct.record(rec);
-            ++result.flows_completed;
+            sink->fct.record(rec);
+            ++sink->completed;
           });
     }
     net::FlowId next_id = 1;
@@ -149,7 +179,8 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
       host::Host& src = fabric.host(arrival.src_host);
       const net::NodeId dst = fabric.host_node(arrival.dst_host);
       const std::int64_t size = arrival.size_bytes;
-      simulator.schedule_at(arrival.start, [&src, id, dst, size] {
+      // Scheduled on the sender's shard — the event belongs to it.
+      src.simulator().schedule_at(arrival.start, [&src, id, dst, size] {
         src.homa()->send_message(id, dst, size);
       });
     }
@@ -183,13 +214,16 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
           mixed ? result.host_member[static_cast<std::size_t>(
                       arrival.src_host)]
                 : 0;
+      // Completion is detected at the sender (final ack), so this
+      // flow's record lands in the sender's shard sink.
+      ShardSink* sink = sink_of(arrival.src_host);
       fabric.host(arrival.src_host)
           .start_flow(id, fabric.host_node(arrival.dst_host),
                       arrival.size_bytes,
                       factories[static_cast<std::size_t>(member)](params,
                                                                   endpoints),
                       params, arrival.start,
-                      [&result, &ideal_fct,
+                      [sink, &ideal_fct,
                        member](const host::FlowCompletion& c) {
                         stats::FlowRecord rec;
                         rec.flow_id = c.flow;
@@ -197,21 +231,42 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
                         rec.start = c.start;
                         rec.finish = c.finish;
                         rec.ideal = ideal_fct(c.size_bytes);
-                        result.fct.record(rec);
-                        if (!result.member_fct.empty()) {
-                          result.member_fct[static_cast<std::size_t>(member)]
+                        sink->fct.record(rec);
+                        if (!sink->member_fct.empty()) {
+                          sink->member_fct[static_cast<std::size_t>(member)]
                               .record(rec);
                         }
-                        ++result.flows_completed;
+                        ++sink->completed;
                       });
     }
   }
 
   // ---- fabric queue sampling (ToR uplinks, Fig. 7g style) ----
+  // Each shard samples its own ToRs' uplinks (one self-rescheduling
+  // event per shard per tick); the per-shard streams carry (tick,
+  // global port rank) so the merge reproduces the sequential append
+  // order exactly. queue_sample_every = 0 disables sampling (the shard
+  // bench uses it for exact event-count parity across thread counts).
   std::vector<net::EgressPort*> uplinks;
   for (int t = 0; t < fabric.tor_count(); ++t) {
     for (const int p : fabric.tor_uplink_ports(t)) {
       uplinks.push_back(&fabric.tor(t).port(p));
+    }
+  }
+  struct RankedPort {
+    int rank;
+    net::EgressPort* port;
+  };
+  std::vector<std::vector<RankedPort>> shard_uplinks(
+      static_cast<std::size_t>(point.plan.shards));
+  {
+    int rank = 0;
+    for (int t = 0; t < fabric.tor_count(); ++t) {
+      const auto s = static_cast<std::size_t>(
+          network.shard_of(fabric.tor(t).id()));
+      for (const int p : fabric.tor_uplink_ports(t)) {
+        shard_uplinks[s].push_back({rank++, &fabric.tor(t).port(p)});
+      }
     }
   }
   // Flight tap: the first ToR uplink (the load target of the sweep)
@@ -231,23 +286,97 @@ ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
                 cfg.telemetry.flow, result.tau, cfg.duration);
   }
 
-  std::function<void()> sample = [&] {
-    for (const auto* port : uplinks) {
-      result.uplink_queue_bytes.add(
-          static_cast<double>(port->queue_bytes()));
-    }
-    if (simulator.now() < cfg.duration) {
-      simulator.schedule_in(cfg.queue_sample_every, sample);
-    }
+  struct UplinkSample {
+    std::int64_t tick;
+    int rank;
+    double value;
   };
-  simulator.schedule_at(0, sample);
+  struct ShardSampler {
+    std::function<void()> fn;
+    std::int64_t tick = 0;
+    std::vector<UplinkSample> out;
+  };
+  std::vector<std::unique_ptr<ShardSampler>> samplers;
+  if (cfg.queue_sample_every > 0) {
+    for (int s = 0; s < point.plan.shards; ++s) {
+      const auto& ports = shard_uplinks[static_cast<std::size_t>(s)];
+      if (ports.empty()) continue;
+      sim::Simulator* ssim = &point.engine.shard(s);
+      auto sampler = std::make_unique<ShardSampler>();
+      ShardSampler* self = sampler.get();
+      self->fn = [self, ssim, &ports, &cfg] {
+        for (const RankedPort& rp : ports) {
+          self->out.push_back(
+              {self->tick, rp.rank,
+               static_cast<double>(rp.port->queue_bytes())});
+        }
+        ++self->tick;
+        if (ssim->now() < cfg.duration) {
+          ssim->schedule_in(cfg.queue_sample_every, self->fn);
+        }
+      };
+      ssim->schedule_at(0, self->fn);
+      samplers.push_back(std::move(sampler));
+    }
+  }
 
   // Run past the horizon so in-flight flows can finish.
-  simulator.run_until(cfg.duration + sim::milliseconds(20));
+  point.engine.run_until(cfg.duration + sim::milliseconds(20));
+
+  // ---- merge per-shard sinks back into the sequential shapes ----
+  if (point.plan.shards == 1) {
+    result.fct = std::move(sinks[0].fct);
+    if (mixed) result.member_fct = std::move(sinks[0].member_fct);
+    result.flows_completed = sinks[0].completed;
+  } else {
+    const auto by_finish = [](const stats::FlowRecord& a,
+                              const stats::FlowRecord& b) {
+      return std::tie(a.finish, a.flow_id) < std::tie(b.finish, b.flow_id);
+    };
+    std::vector<stats::FlowRecord> all;
+    for (auto& s : sinks) {
+      result.flows_completed += s.completed;
+      all.insert(all.end(), s.fct.flows().begin(), s.fct.flows().end());
+    }
+    std::stable_sort(all.begin(), all.end(), by_finish);
+    for (const auto& r : all) result.fct.record(r);
+    if (mixed) {
+      result.member_fct.assign(cfg.cc_mix.size(), stats::FctRecorder{});
+      for (std::size_t m = 0; m < cfg.cc_mix.size(); ++m) {
+        std::vector<stats::FlowRecord> member_all;
+        for (auto& s : sinks) {
+          member_all.insert(member_all.end(), s.member_fct[m].flows().begin(),
+                            s.member_fct[m].flows().end());
+        }
+        std::stable_sort(member_all.begin(), member_all.end(), by_finish);
+        for (const auto& r : member_all) result.member_fct[m].record(r);
+      }
+    }
+  }
+  {
+    std::vector<UplinkSample> merged;
+    for (const auto& s : samplers) {
+      merged.insert(merged.end(), s->out.begin(), s->out.end());
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const UplinkSample& a, const UplinkSample& b) {
+                       return std::tie(a.tick, a.rank) <
+                              std::tie(b.tick, b.rank);
+                     });
+    for (const auto& s : merged) result.uplink_queue_bytes.add(s.value);
+  }
 
   result.drops = fabric.total_drops();
   if (tap) result.flight = tap->series();
-  return result;
+  return {std::move(result), point.engine.boundary_ambiguities()};
+}
+
+}  // namespace
+
+ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& cfg) {
+  return run_with_exact_fallback(
+      effective_sim_threads(cfg.sim_threads, cfg.telemetry.enabled),
+      [&](int threads) { return run_fat_tree_point(cfg, threads); });
 }
 
 }  // namespace powertcp::harness

@@ -73,6 +73,13 @@ struct FatTreeExperiment {
   /// timer workloads.
   sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
 
+  /// Shards for the parallel engine (sim/shard.hpp): the fat-tree is
+  /// cut per pod (topo::fat_tree_shard_plan) and run on this many
+  /// threads. 1 = the sequential engine, verbatim; results are
+  /// thread-count-independent (pinned by golden tests). Telemetry runs
+  /// force 1 (the flight tap reads across the cut).
+  int sim_threads = 1;
+
   /// Optional flight-recorder tap (off by default): samples the first
   /// ToR's first uplink port and the `telemetry.flow`-th planned
   /// arrival's sender. Read-only probes — enabling it never changes

@@ -145,6 +145,7 @@ std::unique_ptr<ScenarioConfig> load_fat_tree_kind(const ConfigFile& file,
   sc->slug_prefix = ctx.slug_prefix;
   sc->percentile = ctx.percentile;
   sc->fat_tree.sim_queue = ctx.sim_queue;
+  sc->fat_tree.sim_threads = ctx.sim_threads;
   sc->fat_tree.seed = ctx.seed;
   sc->fat_tree.telemetry = ctx.telemetry;
   sc->fat_tree.burst = ctx.burst;
@@ -181,6 +182,7 @@ std::unique_ptr<ScenarioConfig> load_incast_kind(const ConfigFile& file,
   sc->schemes = ctx.schemes;
   sc->slug_prefix = ctx.slug_prefix;
   sc->incast.sim_queue = ctx.sim_queue;
+  sc->incast.sim_threads = ctx.sim_threads;
   sc->incast.telemetry = ctx.telemetry;
   sc->incast.burst = ctx.burst;
   load_fat_tree_topology(topo, &sc->incast.topo, file);
@@ -235,6 +237,7 @@ std::unique_ptr<ScenarioConfig> load_rdcn_kind(const ConfigFile& file,
   sc->schemes = ctx.schemes;
   sc->slug_prefix = ctx.slug_prefix;
   sc->rdcn.sim_queue = ctx.sim_queue;
+  sc->rdcn.sim_threads = ctx.sim_threads;
   sc->rdcn.telemetry = ctx.telemetry;
   sc->rdcn.burst = ctx.burst;
   const std::string preset = topo.get_string("preset", "paper");
@@ -310,6 +313,7 @@ std::unique_ptr<ScenarioConfig> load_dumbbell_kind(const ConfigFile& file,
   sc->slug_prefix = ctx.slug_prefix;
   DumbbellScenario& d = sc->dumbbell;
   d.sim_queue = ctx.sim_queue;
+  d.sim_threads = ctx.sim_threads;
   d.telemetry = ctx.telemetry;
   d.burst = ctx.burst;
   d.topo.aqm = ctx.aqm;
@@ -346,6 +350,7 @@ std::unique_ptr<ScenarioConfig> load_homa_oc_kind(const ConfigFile& file,
   sc->slug_prefix = ctx.slug_prefix;
   HomaOcScenario& h = sc->homa_oc;
   h.sim_queue = ctx.sim_queue;
+  h.sim_threads = ctx.sim_threads;
   h.telemetry = ctx.telemetry;
   h.burst = ctx.burst;
   load_fat_tree_topology(topo, &h.incast_topo, file);
@@ -417,6 +422,7 @@ std::unique_ptr<ScenarioConfig> load_mixed_cc_kind(const ConfigFile& file,
   sc->slug_prefix = ctx.slug_prefix;
   MixedCcScenario& m = sc->mixed;
   m.sim_queue = ctx.sim_queue;
+  m.sim_threads = ctx.sim_threads;
   m.burst = ctx.burst;
   m.seed = ctx.seed;
   m.aqm = ctx.aqm;
@@ -678,6 +684,21 @@ RunnerConfig load_runner_config(const ConfigFile& file,
   } else if (burst_knob != "off") {
     throw ConfigError(file.origin() + ": [experiment] sim_burst = '" +
                       burst_knob + "' is not one of on, off");
+  }
+  // Partitioned event engine. Every value is byte-identical to
+  // sim_threads = 1 (pinned by the sharded golden tests); 1 runs the
+  // exact sequential engine with no threads spawned.
+  const std::int64_t threads_knob =
+      exp.get_int("sim_threads", options.force_sim_threads > 0
+                                     ? options.force_sim_threads
+                                     : ctx.sim_threads);
+  if (threads_knob < 1 || threads_knob > 64) {
+    throw ConfigError(file.origin() +
+                      ": [experiment] sim_threads must be in [1, 64]");
+  }
+  ctx.sim_threads = static_cast<int>(threads_knob);
+  if (options.force_sim_threads > 0) {
+    ctx.sim_threads = options.force_sim_threads;
   }
   exp.finish();
 

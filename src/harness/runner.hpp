@@ -41,6 +41,10 @@
 ///                              # (off is byte-identical to the
 ///                              # per-packet engine, on is pinned
 ///                              # table-identical for shipped configs)
+///   sim_threads = 1            # event-engine shards per simulation
+///                              # point (conservative-lookahead
+///                              # partitioned DES; byte-identical to
+///                              # sim_threads = 1 for every value)
 ///
 ///   [topology]                 # kind-specific presets + overrides
 ///   preset = quick             # fat-tree: quick | paper
@@ -197,6 +201,10 @@ struct RunnerLoadOptions {
   /// sim_burst` (0 = no override, 1 = force on, -1 = force off).
   /// File-set `[burst]` tunables still apply.
   int force_burst = 0;
+  /// `powertcp_run --sim-threads=N`: override `[experiment]
+  /// sim_threads` (0 = no override). Values > 1 shard each simulation
+  /// point across cores with conservative lookahead.
+  int force_sim_threads = 0;
 };
 
 /// Builds a RunnerConfig from a parsed file, resolving the kind

@@ -43,6 +43,11 @@ struct ScenarioContext {
   std::uint64_t seed = 1;
   double percentile = 99.0;
   sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
+  /// Parsed `[experiment] sim_threads` (possibly overridden by the
+  /// CLI): event-engine shards per simulation point. 1 is the exact
+  /// sequential engine; N > 1 partitions the topology with
+  /// conservative lookahead, byte-identical by construction.
+  int sim_threads = 1;
   /// Parsed `[telemetry]` section (possibly forced on by the CLI);
   /// loaders copy it into their kind's scenario config.
   TelemetryConfig telemetry;

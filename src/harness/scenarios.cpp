@@ -4,9 +4,11 @@
 #include <functional>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "cc/mix.hpp"
 #include "cc/registry.hpp"
+#include "harness/shard_setup.hpp"
 #include "host/homa.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
@@ -56,17 +58,21 @@ void append_flight_tables(std::vector<ResultTable>* flight_out,
 
 }  // namespace
 
-IncastSeries run_incast_scenario(const IncastScenario& cfg,
-                                 const SchemeRun& scheme_run) {
-  const cc::Scheme& scheme = resolve(scheme_run);
+namespace {
 
-  sim::Simulator simulator(cfg.sim_queue);
-  net::Network network(simulator);
+std::pair<IncastSeries, std::uint64_t> run_incast_point(
+    const IncastScenario& cfg, const SchemeRun& scheme_run, int threads) {
+  const cc::Scheme& scheme = resolve(scheme_run);
+  // Partitioned engine (per-pod cut); monitors live on pod 0 = shard 0.
+  ShardedPoint point(topo::fat_tree_shard_plan(cfg.topo, threads),
+                     cfg.sim_queue);
+  sim::Simulator& simulator = point.sim();
+  net::Network& network = point.network;
   topo::FatTreeConfig topo_cfg = cfg.topo;
   topo_cfg.ecn = scheme.needs.ecn;
   topo_cfg.priority_bands = scheme.needs.priority_bands;
   topo::FatTree fabric(network, topo_cfg);
-  apply_burst(cfg.burst, simulator, network);
+  apply_burst(cfg.burst, point.engine, network);
 
   cc::FlowParams params;
   params.host_bw = topo_cfg.host_bw;
@@ -112,23 +118,25 @@ IncastSeries run_incast_scenario(const IncastScenario& cfg,
     }
     host::Host& ls = fabric.host(long_sender);
     const std::int64_t long_bytes = cfg.long_flow_bytes;
-    simulator.schedule_at(0, [&ls, &fabric, receiver, long_bytes] {
+    // Message starts are scheduled on each sender's own shard.
+    ls.simulator().schedule_at(0, [&ls, &fabric, receiver, long_bytes] {
       ls.homa()->send_message(1, fabric.host_node(receiver), long_bytes);
     });
     for (int i = 0; i < cfg.long_companions; ++i) {
       host::Host& h = fabric.host(topo_cfg.servers_per_tor + 1 + i);
       const net::FlowId fid = static_cast<net::FlowId>(10 + i);
-      simulator.schedule_at(cfg.burst_at,
-                            [&h, fid, &fabric, receiver, long_bytes] {
-                              h.homa()->send_message(
-                                  fid, fabric.host_node(receiver), long_bytes);
-                            });
+      h.simulator().schedule_at(cfg.burst_at,
+                                [&h, fid, &fabric, receiver, long_bytes] {
+                                  h.homa()->send_message(
+                                      fid, fabric.host_node(receiver),
+                                      long_bytes);
+                                });
     }
     for (int i = 0; cfg.query_bytes > 0 && i < cfg.fan_in; ++i) {
       host::Host& h = fabric.host(responder_of(i));
       const net::FlowId fid = static_cast<net::FlowId>(100 + i);
-      simulator.schedule_at(cfg.burst_at, [&h, fid, &fabric, receiver,
-                                           burst_bytes] {
+      h.simulator().schedule_at(cfg.burst_at, [&h, fid, &fabric, receiver,
+                                               burst_bytes] {
         h.homa()->send_message(fid, fabric.host_node(receiver), burst_bytes);
       });
     }
@@ -169,7 +177,7 @@ IncastSeries run_incast_scenario(const IncastScenario& cfg,
                 1, params.base_rtt, cfg.horizon);
   }
 
-  simulator.run_until(cfg.horizon);
+  point.engine.run_until(cfg.horizon);
 
   IncastSeries out;
   const auto bins = static_cast<std::size_t>(cfg.horizon / cfg.bin);
@@ -180,7 +188,16 @@ IncastSeries run_incast_scenario(const IncastScenario& cfg,
         1e3);
   }
   if (tap) out.flight = tap->series();
-  return out;
+  return {std::move(out), point.engine.boundary_ambiguities()};
+}
+
+}  // namespace
+
+IncastSeries run_incast_scenario(const IncastScenario& cfg,
+                                 const SchemeRun& scheme_run) {
+  return run_with_exact_fallback(
+      effective_sim_threads(cfg.sim_threads, cfg.telemetry.enabled),
+      [&](int threads) { return run_incast_point(cfg, scheme_run, threads); });
 }
 
 ResultTable incast_table(const SweepRunner& runner, const IncastScenario& cfg,
@@ -217,8 +234,10 @@ ResultTable incast_table(const SweepRunner& runner, const IncastScenario& cfg,
   return t;
 }
 
-RdcnResult run_rdcn_scenario(const RdcnScenario& cfg,
-                             const SchemeRun& scheme_run) {
+namespace {
+
+std::pair<RdcnResult, std::uint64_t> run_rdcn_point(
+    const RdcnScenario& cfg, const SchemeRun& scheme_run, int threads) {
   const cc::Scheme& scheme = resolve(scheme_run);
   if (scheme.message_transport) {
     throw std::invalid_argument("scheme '" + scheme_run.scheme +
@@ -226,10 +245,14 @@ RdcnResult run_rdcn_scenario(const RdcnScenario& cfg,
                                 "scenario drives sender CC algorithms");
   }
 
-  sim::Simulator simulator(cfg.sim_queue);
-  net::Network network(simulator);
+  // Partitioned engine: switching stays on shard 0, hosts spread by
+  // rack. Monitors tap ToR 0 (shard 0); the rack-1 goodput callback
+  // fires only on rack 1's shard thread (single writer).
+  ShardedPoint point(topo::rdcn_shard_plan(cfg.topo, threads), cfg.sim_queue);
+  sim::Simulator& simulator = point.sim();
+  net::Network& network = point.network;
   topo::Rdcn rdcn(network, cfg.topo);
-  apply_burst(cfg.burst, simulator, network);
+  apply_burst(cfg.burst, point.engine, network);
 
   cc::FlowParams params;
   params.host_bw = cfg.topo.host_bw;
@@ -280,7 +303,7 @@ RdcnResult run_rdcn_scenario(const RdcnScenario& cfg,
                 &rdcn.host(idx - 1), idx, params.base_rtt, cfg.horizon);
   }
 
-  simulator.run_until(cfg.horizon);
+  point.engine.run_until(cfg.horizon);
 
   RdcnResult out;
   double day_bytes = 0, day_secs = 0;
@@ -301,7 +324,16 @@ RdcnResult run_rdcn_scenario(const RdcnScenario& cfg,
   }
   if (!sojourns_us.empty()) out.p99_sojourn_us = sojourns_us.percentile(99);
   if (tap) out.flight = tap->series();
-  return out;
+  return {std::move(out), point.engine.boundary_ambiguities()};
+}
+
+}  // namespace
+
+RdcnResult run_rdcn_scenario(const RdcnScenario& cfg,
+                             const SchemeRun& scheme_run) {
+  return run_with_exact_fallback(
+      effective_sim_threads(cfg.sim_threads, cfg.telemetry.enabled),
+      [&](int threads) { return run_rdcn_point(cfg, scheme_run, threads); });
 }
 
 ResultTable rdcn_timeseries_table(const SweepRunner& runner,
@@ -348,22 +380,28 @@ ResultTable rdcn_timeseries_table(const SweepRunner& runner,
   return t;
 }
 
-DumbbellSeries run_dumbbell_scenario(const DumbbellScenario& cfg,
-                                     const SchemeRun& scheme_run) {
+namespace {
+
+std::pair<DumbbellSeries, std::uint64_t> run_dumbbell_point(
+    const DumbbellScenario& cfg, const SchemeRun& scheme_run, int threads) {
   const cc::Scheme& scheme = resolve(scheme_run);
   const int n_flows = static_cast<int>(cfg.flow_bytes.size());
   if (n_flows < 1) {
     throw std::invalid_argument("DumbbellScenario: needs at least one flow");
   }
 
-  sim::Simulator simulator(cfg.sim_queue);
-  net::Network network(simulator);
   topo::DumbbellConfig topo_cfg = cfg.topo;
   topo_cfg.n_senders = n_flows;
   topo_cfg.ecn = scheme.needs.ecn;
   topo_cfg.priority_bands = scheme.needs.priority_bands;
+  // Partitioned engine: senders spread across shards, switch and
+  // receiver (every monitor) on shard 0.
+  ShardedPoint point(topo::dumbbell_shard_plan(topo_cfg, threads),
+                     cfg.sim_queue);
+  sim::Simulator& simulator = point.sim();
+  net::Network& network = point.network;
   topo::Dumbbell topo(network, topo_cfg);
-  apply_burst(cfg.burst, simulator, network);
+  apply_burst(cfg.burst, point.engine, network);
 
   cc::FlowParams params;
   params.host_bw = topo_cfg.host_bw;
@@ -391,7 +429,7 @@ DumbbellSeries run_dumbbell_scenario(const DumbbellScenario& cfg,
       const auto fid = static_cast<net::FlowId>(i + 1);
       const std::int64_t size = cfg.flow_bytes[static_cast<std::size_t>(i)];
       const net::NodeId dst = topo.receiver_node();
-      simulator.schedule_at(i * cfg.stagger, [&s, fid, size, dst] {
+      s.simulator().schedule_at(i * cfg.stagger, [&s, fid, size, dst] {
         s.homa()->send_message(fid, dst, size);
       });
     }
@@ -418,7 +456,7 @@ DumbbellSeries run_dumbbell_scenario(const DumbbellScenario& cfg,
                 idx, params.base_rtt, cfg.horizon);
   }
 
-  simulator.run_until(cfg.horizon);
+  point.engine.run_until(cfg.horizon);
 
   DumbbellSeries out;
   out.gbps.resize(static_cast<std::size_t>(n_flows));
@@ -435,7 +473,18 @@ DumbbellSeries run_dumbbell_scenario(const DumbbellScenario& cfg,
     }
   }
   if (tap) out.flight = tap->series();
-  return out;
+  return {std::move(out), point.engine.boundary_ambiguities()};
+}
+
+}  // namespace
+
+DumbbellSeries run_dumbbell_scenario(const DumbbellScenario& cfg,
+                                     const SchemeRun& scheme_run) {
+  return run_with_exact_fallback(
+      effective_sim_threads(cfg.sim_threads, cfg.telemetry.enabled),
+      [&](int threads) {
+        return run_dumbbell_point(cfg, scheme_run, threads);
+      });
 }
 
 ResultTable dumbbell_series_table(const DumbbellSeries& series,
@@ -484,18 +533,23 @@ std::vector<ResultTable> dumbbell_fairness_tables(
   return tables;
 }
 
-HomaOcIncastResult run_homa_oc_incast(const HomaOcScenario& cfg,
-                                      const SchemeRun& scheme_run,
-                                      int fan_in) {
+namespace {
+
+std::pair<HomaOcIncastResult, std::uint64_t> run_homa_oc_incast_point(
+    const HomaOcScenario& cfg, const SchemeRun& scheme_run, int fan_in,
+    int threads) {
   const cc::Scheme& scheme = resolve(scheme_run);
 
-  sim::Simulator simulator(cfg.sim_queue);
-  net::Network network(simulator);
+  // Partitioned engine (per-pod cut); monitors live on pod 0 = shard 0.
+  ShardedPoint point(topo::fat_tree_shard_plan(cfg.incast_topo, threads),
+                     cfg.sim_queue);
+  sim::Simulator& simulator = point.sim();
+  net::Network& network = point.network;
   topo::FatTreeConfig topo_cfg = cfg.incast_topo;
   topo_cfg.ecn = scheme.needs.ecn;
   topo_cfg.priority_bands = scheme.needs.priority_bands;
   topo::FatTree fabric(network, topo_cfg);
-  apply_burst(cfg.burst, simulator, network);
+  apply_burst(cfg.burst, point.engine, network);
 
   cc::FlowParams params;
   params.host_bw = topo_cfg.host_bw;
@@ -516,7 +570,7 @@ HomaOcIncastResult run_homa_oc_incast(const HomaOcScenario& cfg,
   // Long message from the far pod plus the synchronized burst.
   host::Host& ls = fabric.host(fabric.host_count() - 1);
   const std::int64_t long_bytes = cfg.long_message_bytes;
-  simulator.schedule_at(0, [&ls, &fabric, receiver, long_bytes] {
+  ls.simulator().schedule_at(0, [&ls, &fabric, receiver, long_bytes] {
     ls.homa()->send_message(1, fabric.host_node(receiver), long_bytes);
   });
   const int remote_responders =
@@ -528,8 +582,8 @@ HomaOcIncastResult run_homa_oc_incast(const HomaOcScenario& cfg,
     const int responder = topo_cfg.servers_per_tor + i % remote_responders;
     host::Host& h = fabric.host(responder);
     const auto fid = static_cast<net::FlowId>(100 + i);
-    simulator.schedule_at(cfg.burst_at, [&h, fid, &fabric, receiver,
-                                         burst_bytes] {
+    h.simulator().schedule_at(cfg.burst_at, [&h, fid, &fabric, receiver,
+                                             burst_bytes] {
       h.homa()->send_message(fid, fabric.host_node(receiver), burst_bytes);
     });
   }
@@ -542,14 +596,26 @@ HomaOcIncastResult run_homa_oc_incast(const HomaOcScenario& cfg,
                 params.base_rtt, cfg.incast_horizon);
   }
 
-  simulator.run_until(cfg.incast_horizon);
+  point.engine.run_until(cfg.incast_horizon);
 
   HomaOcIncastResult out;
   out.peak_queue_kb = static_cast<double>(queue.max_bytes()) / 1e3;
   out.drops = fabric.total_drops();
   out.mean_goodput_gbps = goodput.mean_gbps(0, goodput.bin_count());
   if (tap) out.flight = tap->series();
-  return out;
+  return {std::move(out), point.engine.boundary_ambiguities()};
+}
+
+}  // namespace
+
+HomaOcIncastResult run_homa_oc_incast(const HomaOcScenario& cfg,
+                                      const SchemeRun& scheme_run,
+                                      int fan_in) {
+  return run_with_exact_fallback(
+      effective_sim_threads(cfg.sim_threads, cfg.telemetry.enabled),
+      [&](int threads) {
+        return run_homa_oc_incast_point(cfg, scheme_run, fan_in, threads);
+      });
 }
 
 std::vector<ResultTable> homa_oc_tables(const SweepRunner& runner,
@@ -578,6 +644,7 @@ std::vector<ResultTable> homa_oc_tables(const SweepRunner& runner,
 
   DumbbellScenario fairness = cfg.fairness;
   fairness.sim_queue = cfg.sim_queue;
+  fairness.sim_threads = cfg.sim_threads;
   fairness.telemetry = cfg.telemetry;
   fairness.burst = cfg.burst;
   std::vector<std::function<DumbbellSeries()>> fairness_jobs;
@@ -666,11 +733,12 @@ std::vector<ResultTable> homa_oc_tables(const SweepRunner& runner,
   return tables;
 }
 
-MixedCcCellResult run_mixed_cc_cell(const MixedCcScenario& cfg,
-                                    const MixedCcMix& mix,
-                                    const std::string& aqm_kind,
-                                    double rtt_us,
-                                    std::int64_t buffer_bytes) {
+namespace {
+
+std::pair<MixedCcCellResult, std::uint64_t> run_mixed_cc_point(
+    const MixedCcScenario& cfg, const MixedCcMix& mix,
+    const std::string& aqm_kind, double rtt_us, std::int64_t buffer_bytes,
+    int threads) {
   if (mix.members.empty() || mix.members.size() != mix.weights.size()) {
     throw std::invalid_argument("mixed_cc: malformed mix '" + mix.display +
                                 "'");
@@ -693,8 +761,6 @@ MixedCcCellResult run_mixed_cc_cell(const MixedCcScenario& cfg,
     schemes.push_back(&s);
   }
 
-  sim::Simulator simulator(cfg.sim_queue);
-  net::Network network(simulator);
   topo::DumbbellConfig topo_cfg = cfg.topo;
   topo_cfg.n_senders = cfg.senders;
   topo_cfg.link_delay = sim::from_seconds(rtt_us * 1e-6 / 4.0);
@@ -718,8 +784,14 @@ MixedCcCellResult run_mixed_cc_cell(const MixedCcScenario& cfg,
       break;
     }
   }
+  // Partitioned engine: senders spread across shards; the receiver's
+  // byte counters and the per-sender finish slots are each written by
+  // exactly one shard thread.
+  ShardedPoint point(topo::dumbbell_shard_plan(topo_cfg, threads),
+                     cfg.sim_queue);
+  net::Network& network = point.network;
   topo::Dumbbell topo(network, topo_cfg);
-  apply_burst(cfg.burst, simulator, network);
+  apply_burst(cfg.burst, point.engine, network);
 
   cc::FlowParams params;
   params.host_bw = topo_cfg.host_bw;
@@ -763,7 +835,7 @@ MixedCcCellResult run_mixed_cc_cell(const MixedCcScenario& cfg,
         });
   }
 
-  simulator.run_until(cfg.horizon);
+  point.engine.run_until(cfg.horizon);
 
   // Per-flow delivery rate over the flow's own active window, so a
   // stack that finishes early is credited its speed rather than
@@ -822,7 +894,21 @@ MixedCcCellResult run_mixed_cc_cell(const MixedCcScenario& cfg,
   }
   out.done_frac =
       static_cast<double>(done_total) / static_cast<double>(cfg.senders);
-  return out;
+  return {std::move(out), point.engine.boundary_ambiguities()};
+}
+
+}  // namespace
+
+MixedCcCellResult run_mixed_cc_cell(const MixedCcScenario& cfg,
+                                    const MixedCcMix& mix,
+                                    const std::string& aqm_kind,
+                                    double rtt_us,
+                                    std::int64_t buffer_bytes) {
+  return run_with_exact_fallback(
+      effective_sim_threads(cfg.sim_threads, false), [&](int threads) {
+        return run_mixed_cc_point(cfg, mix, aqm_kind, rtt_us, buffer_bytes,
+                                  threads);
+      });
 }
 
 std::vector<ResultTable> mixed_cc_tables(const SweepRunner& runner,

@@ -51,6 +51,9 @@ struct IncastScenario {
   sim::TimePs bin = sim::microseconds(50);
   /// Event-queue backend; results are backend-independent.
   sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
+  /// Parallel-engine shards (1 = sequential verbatim); results are
+  /// thread-count-independent. Telemetry forces 1.
+  int sim_threads = 1;
   /// Optional flight recorder on the receiver's ToR downlink + the
   /// long foreground flow.
   TelemetryConfig telemetry;
@@ -86,6 +89,9 @@ struct RdcnScenario {
   sim::TimePs bin = sim::microseconds(50);
   /// Event-queue backend; results are backend-independent.
   sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
+  /// Parallel-engine shards (1 = sequential verbatim); results are
+  /// thread-count-independent. Telemetry forces 1.
+  int sim_threads = 1;
   /// Optional flight recorder on ToR-0's circuit port + the
   /// `telemetry.flow`-th rack-0 flow.
   TelemetryConfig telemetry;
@@ -138,6 +144,9 @@ struct DumbbellScenario {
   int row_stride = 4;
   /// Event-queue backend; results are backend-independent.
   sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
+  /// Parallel-engine shards (1 = sequential verbatim); results are
+  /// thread-count-independent. Telemetry forces 1.
+  int sim_threads = 1;
   /// Optional flight recorder on the bottleneck port + the
   /// `telemetry.flow`-th flow (sender flow-1).
   TelemetryConfig telemetry;
@@ -194,6 +203,8 @@ struct HomaOcScenario {
   sim::TimePs incast_bin = sim::microseconds(100);
   /// Event-queue backend, applied to both panels.
   sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
+  /// Parallel-engine shards, applied to both panels (1 = sequential).
+  int sim_threads = 1;
   /// Optional flight recorder, applied to both panels (the incast
   /// panel taps the receiver's ToR downlink; message transports have
   /// no sender window, so cwnd/pace read 0 there).
@@ -250,6 +261,9 @@ struct MixedCcScenario {
   net::AqmSpec aqm;
   /// Event-queue backend; results are backend-independent.
   sim::QueueKind sim_queue = sim::QueueKind::kBinaryHeap;
+  /// Parallel-engine shards (1 = sequential verbatim); results are
+  /// thread-count-independent.
+  int sim_threads = 1;
   /// Burst-granular event processing (off = legacy per-packet engine).
   BurstConfig burst;
 

@@ -1,6 +1,7 @@
 #include "net/egress_port.hpp"
 
 #include "net/node.hpp"
+#include "net/shard_link.hpp"
 
 namespace powertcp::net {
 
@@ -141,7 +142,13 @@ void EgressPort::start_tx_burst(Packet first, std::uint32_t budget) {
     tx_bytes_ += pkt.wire_bytes();
     ++tx_packets_;
     finish += bandwidth_.tx_time(pkt.wire_bytes());
-    if (peer_ != nullptr) {
+    if (remote_ != nullptr) {
+      // Cross-shard link: the destination shard schedules the delivery
+      // at its next window barrier (same per-packet delivery times).
+      // The causal stamp is now(), matching the burst path's local
+      // schedule_at time.
+      remote_->send(finish + propagation_, sim_.now(), std::move(pkt));
+    } else if (peer_ != nullptr) {
       const PacketPool::Handle h = pool_.put(std::move(pkt));
       sim_.schedule_at(finish + propagation_, [this, h] {
         peer_->receive(pool_.take(h), peer_in_port_);
@@ -162,7 +169,9 @@ void EgressPort::finish_tx(Packet pkt) {
   busy_ = false;
   if (shared_buffer_ != nullptr) shared_buffer_->on_dequeue(pkt.wire_bytes());
   if (tx_monitor_ != nullptr) tx_monitor_->add_bytes(sim_.now(), pkt.wire_bytes());
-  if (peer_ != nullptr) {
+  if (remote_ != nullptr) {
+    remote_->send(sim_.now() + propagation_, sim_.now(), std::move(pkt));
+  } else if (peer_ != nullptr) {
     const PacketPool::Handle h = pool_.put(std::move(pkt));
     sim_.schedule_in(propagation_, [this, h] {
       peer_->receive(pool_.take(h), peer_in_port_);

@@ -24,6 +24,7 @@
 namespace powertcp::net {
 
 class Node;
+class ShardChannel;
 
 class EgressPort {
  public:
@@ -40,6 +41,14 @@ class EgressPort {
   }
   Node* peer() const { return peer_; }
   int peer_in_port() const { return peer_in_port_; }
+
+  /// Marks the peer as living on another shard of a partitioned run:
+  /// deliveries go through `ch` (a cross-shard SPSC channel, see
+  /// shard_link.hpp) instead of being scheduled on this shard's
+  /// simulator. Installed by Network when a link crosses the shard
+  /// plan's cut; nullptr (the default) keeps the local path.
+  void set_remote_channel(ShardChannel* ch) { remote_ = ch; }
+  ShardChannel* remote_channel() const { return remote_; }
 
   /// Installs the historical step/RED marking profile — sugar for
   /// set_aqm(StepRedAqm): byte-identical to the pre-AQM-layer marking.
@@ -130,6 +139,7 @@ class EgressPort {
   sim::TimePs propagation_;
   Node* peer_ = nullptr;
   int peer_in_port_ = -1;
+  ShardChannel* remote_ = nullptr;
 
   std::unique_ptr<Aqm> aqm_;
   std::uint64_t ecn_marks_ = 0;

@@ -22,9 +22,24 @@ int Network::make_port_on(Node& n, sim::Bandwidth bw, sim::TimePs prop) {
   if (auto* sw = dynamic_cast<Switch*>(&n)) {
     return sw->add_port(bw, prop);
   }
-  auto port = std::make_unique<BasicPort>(sim_, bw, prop,
+  auto port = std::make_unique<BasicPort>(sim_of(n.id()), bw, prop,
                                           std::make_unique<FifoQueue>());
   return n.attach_port(std::move(port));
+}
+
+void Network::link_shards(Node& a, int a_port, Node& b, int b_port) {
+  if (router_ == nullptr) return;
+  const int sa = shard_of(a.id());
+  const int sb = shard_of(b.id());
+  if (sa == sb) return;
+  const sim::TimePs prop = a.port(a_port).propagation_delay();
+  if (prop < engine_->lookahead()) {
+    throw std::logic_error(
+        "Network: cross-shard link shorter than the engine lookahead — "
+        "the shard plan's cut delay is wrong for this topology");
+  }
+  a.port(a_port).set_remote_channel(router_->add_channel(sa, sb, &b, b_port));
+  b.port(b_port).set_remote_channel(router_->add_channel(sb, sa, &a, a_port));
 }
 
 Network::LinkPorts Network::connect(Node& a, sim::Bandwidth bw_ab, Node& b,
@@ -35,6 +50,7 @@ Network::LinkPorts Network::connect(Node& a, sim::Bandwidth bw_ab, Node& b,
   b.port(pb).set_peer(&a, pa);
   edges_.push_back({a.id(), pa, b.id()});
   edges_.push_back({b.id(), pb, a.id()});
+  link_shards(a, pa, b, pb);
   return LinkPorts{pa, pb};
 }
 

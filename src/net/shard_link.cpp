@@ -1,0 +1,65 @@
+#include "net/shard_link.hpp"
+
+#include <algorithm>
+
+#include "net/node.hpp"
+
+namespace powertcp::net {
+
+ShardRouter::ShardRouter(sim::ShardedSimulator& engine) : engine_(engine) {
+  ingress_.resize(static_cast<std::size_t>(engine.shard_count()));
+  send_stamps_.resize(static_cast<std::size_t>(engine.shard_count()));
+  for (int s = 0; s < engine.shard_count(); ++s) {
+    engine_.set_ingest_hook(s, [this, s] { ingest(s); });
+  }
+}
+
+ShardChannel* ShardRouter::add_channel(int src_shard, int dst_shard, Node* dst,
+                                       int dst_in_port) {
+  Ingress& in = ingress_.at(static_cast<std::size_t>(dst_shard));
+  in.channels.push_back(std::make_unique<ShardChannel>(
+      dst, dst_in_port, src_shard,
+      &send_stamps_.at(static_cast<std::size_t>(src_shard)).next));
+  return in.channels.back().get();
+}
+
+void ShardRouter::ingest(int shard) {
+  Ingress& in = ingress_[static_cast<std::size_t>(shard)];
+  in.scratch.clear();
+  for (const auto& ch : in.channels) {
+    ch->drain_into(in.scratch);
+  }
+  if (in.scratch.empty()) return;
+  // Sort on (deliver_at, sent_at, src_shard, src_seq): messages from one
+  // source shard merge in that shard's execution order (src_seq), which
+  // for equal (deliver_at, sent_at) is exactly the sequential engine's
+  // relative order; cross-shard equal keys get a deterministic (if
+  // arbitrary) order and are flagged by the pop-time ambiguity detector.
+  // Scheduling via schedule_from then slots each delivery into the
+  // destination queue at its sender-side causal timestamp, so the
+  // executed order matches the sequential engine's
+  // scheduling-chronology tie-break.
+  std::sort(in.scratch.begin(), in.scratch.end(),
+            [](const ShardMessage& a, const ShardMessage& b) {
+              if (a.deliver_at != b.deliver_at) {
+                return a.deliver_at < b.deliver_at;
+              }
+              if (a.sent_at != b.sent_at) return a.sent_at < b.sent_at;
+              if (a.src_shard != b.src_shard) return a.src_shard < b.src_shard;
+              return a.src_seq < b.src_seq;
+            });
+  sim::Simulator& sim = engine_.shard(shard);
+  PacketPool* pool = &in.pool;
+  for (ShardMessage& m : in.scratch) {
+    const PacketPool::Handle h = pool->put(std::move(m.pkt));
+    Node* dst = m.dst;
+    const int port = m.dst_in_port;
+    const auto origin = static_cast<std::uint32_t>(1 + m.src_shard);
+    sim.schedule_from(
+        m.sent_at, m.deliver_at,
+        [dst, port, pool, h] { dst->receive(pool->take(h), port); }, origin);
+  }
+  in.scratch.clear();
+}
+
+}  // namespace powertcp::net

@@ -13,6 +13,7 @@ constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
 /// True when a precedes b in pop order.
 bool earlier(const EventEntry& a, const EventEntry& b) {
   if (a.time != b.time) return a.time < b.time;
+  if (a.sched != b.sched) return a.sched < b.sched;
   return a.seq < b.seq;
 }
 

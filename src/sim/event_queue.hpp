@@ -8,10 +8,10 @@
 #include "sim/time.hpp"
 
 /// \file event_queue.hpp
-/// Pending-event storage behind the Simulator: POD (time, seq, slot)
-/// entries ordered by (time, seq). Two interchangeable backends share
-/// one interface so a run can pick its structure without changing event
-/// semantics:
+/// Pending-event storage behind the Simulator: POD (time, sched, seq,
+/// slot) entries ordered by (time, sched, seq). Two interchangeable
+/// backends share one interface so a run can pick its structure without
+/// changing event semantics:
 ///
 ///  - BinaryHeapEventQueue: std::priority_queue, the default. O(log n)
 ///    everywhere, unbeatable for small/medium event counts.
@@ -21,22 +21,37 @@
 ///    thousands of pacing/RTO timers and packet events tick in a narrow
 ///    moving window.
 ///
-/// Both backends pop in exactly (time, seq) order, so a run's event
-/// trace — and therefore every golden output — is backend-independent;
-/// tests pin heap/calendar equivalence on randomized schedules.
+/// Both backends pop in exactly (time, sched, seq) order, so a run's
+/// event trace — and therefore every golden output — is
+/// backend-independent; tests pin heap/calendar equivalence on
+/// randomized schedules.
+///
+/// The `sched` key is the CAUSAL timestamp: the simulation time at
+/// which the event was scheduled. In a purely sequential run it is
+/// redundant — scheduling actions execute in nondecreasing time order,
+/// so `seq` (assigned chronologically) already refines `sched` and
+/// (time, sched, seq) orders identically to the historical (time, seq).
+/// Its purpose is cross-shard determinism: the partitioned engine
+/// (sim::ShardedSimulator) ingests remote packet deliveries at window
+/// barriers, long after destination-local events grabbed their seq
+/// numbers, and stamps them with the sender-side send time via
+/// Simulator::schedule_from so same-picosecond ties still resolve in
+/// the sequential engine's scheduling-chronology order.
 
 namespace powertcp::sim {
 
 /// One pending event. `slot` indexes the Simulator's slot table, which
-/// holds the callback; `seq` disambiguates ties and stale slots.
-/// `burst_key` rides in what used to be struct padding (the entry is 24
-/// bytes either way): a nonzero key marks the event as burst-mergeable —
-/// when the Simulator's burst budget allows, contiguous same-(time, key)
-/// entries are delivered as ONE callback invocation carrying their
-/// summed count (see Simulator::schedule_burst_at). Key 0 (the default)
-/// never merges, so the per-event path is untouched.
+/// holds the callback; `sched` is the causal timestamp (see above) and
+/// `seq` disambiguates remaining ties and stale slots. `burst_key`
+/// rides in what used to be struct padding: a nonzero key marks the
+/// event as burst-mergeable — when the Simulator's burst budget allows,
+/// contiguous same-(time, key) entries are delivered as ONE callback
+/// invocation carrying their summed count (see
+/// Simulator::schedule_burst_at). Key 0 (the default) never merges, so
+/// the per-event path is untouched.
 struct EventEntry {
   TimePs time;
+  TimePs sched;
   std::uint64_t seq;
   std::uint32_t slot;
   std::uint32_t burst_key = 0;
@@ -47,7 +62,7 @@ class EventQueue {
   virtual ~EventQueue() = default;
 
   virtual void push(const EventEntry& e) = 0;
-  /// Minimum entry by (time, seq), or nullptr when empty. The pointer
+  /// Minimum entry by (time, sched, seq), or nullptr when empty. The pointer
   /// is valid until the next push/pop.
   virtual const EventEntry* peek() = 0;
   /// Removes the entry peek() reported. Precondition: not empty.
@@ -74,6 +89,7 @@ class BinaryHeapEventQueue final : public EventQueue {
   struct Later {
     bool operator()(const EventEntry& a, const EventEntry& b) const {
       if (a.time != b.time) return a.time > b.time;
+      if (a.sched != b.sched) return a.sched > b.sched;
       return a.seq > b.seq;
     }
   };

@@ -1,0 +1,109 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace powertcp::sim {
+
+ShardedSimulator::ShardedSimulator(int shards, QueueKind queue_kind) {
+  if (shards < 1) {
+    throw std::invalid_argument("ShardedSimulator: shard count must be >= 1");
+  }
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Simulator>(queue_kind));
+  }
+  ingest_.resize(static_cast<std::size_t>(shards));
+}
+
+void ShardedSimulator::set_ingest_hook(int i, std::function<void()> hook) {
+  ingest_.at(static_cast<std::size_t>(i)) = std::move(hook);
+}
+
+std::uint64_t ShardedSimulator::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->events_executed();
+  return total;
+}
+
+void ShardedSimulator::record_error() {
+  const std::lock_guard<std::mutex> lock(error_mu_);
+  if (!error_) error_ = std::current_exception();
+  abort_ = true;
+}
+
+void ShardedSimulator::worker(int idx, TimePs horizon) {
+  Simulator& sim = *shards_[static_cast<std::size_t>(idx)];
+  const std::size_t i = static_cast<std::size_t>(idx);
+  while (true) {
+    // Phase 1 (quiescent): pull in cross-shard deliveries buffered
+    // during the previous window, then publish the earliest pending
+    // time. abort_/done_/window_end_ are written strictly before one
+    // barrier and read strictly after it, so plain fields suffice.
+    if (!abort_) {
+      try {
+        if (ingest_[i]) ingest_[i]();
+        next_times_[i] = sim.next_event_time();
+      } catch (...) {
+        record_error();
+      }
+    }
+    if (abort_) next_times_[i] = kTimeInfinity;
+    barrier_->arrive_and_wait([&] {
+      TimePs min_next = kTimeInfinity;
+      for (const TimePs t : next_times_) min_next = std::min(min_next, t);
+      if (abort_ || min_next > horizon) {
+        done_ = true;
+        return;
+      }
+      // Exclusive window end: everything in [min_next, min_next + L)
+      // is safe (cross-shard influence arrives >= min_next + L), and
+      // the horizon itself must still be executed.
+      window_end_ = std::min(min_next + lookahead_, horizon + 1);
+      ++windows_;
+    });
+    if (done_) break;
+    // Phase 2 (parallel): run the window. Cross-shard sends land in
+    // the rings; the next round's phase 1 drains them.
+    try {
+      sim.run_events_before(window_end_);
+    } catch (...) {
+      record_error();
+    }
+    // All sends of this window complete before any shard ingests them.
+    barrier_->arrive_and_wait();
+  }
+  // No events <= horizon remain anywhere; advance the local clock.
+  if (!abort_) sim.run_until(horizon);
+}
+
+void ShardedSimulator::run_until(TimePs horizon) {
+  if (shards_.size() == 1) {
+    // The sequential engine, driven verbatim — no threads, no windows.
+    shards_[0]->run_until(horizon);
+    return;
+  }
+  if (lookahead_ < 1) {
+    throw std::logic_error(
+        "ShardedSimulator::run_until: multi-shard runs need a positive "
+        "lookahead (set_lookahead with the min cross-shard link delay)");
+  }
+  done_ = false;
+  abort_ = false;
+  error_ = nullptr;
+  next_times_.assign(shards_.size(), kTimeInfinity);
+  barrier_ = std::make_unique<Barrier>(static_cast<int>(shards_.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(shards_.size() - 1);
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    pool.emplace_back([this, i, horizon] {
+      worker(static_cast<int>(i), horizon);
+    });
+  }
+  worker(0, horizon);
+  for (auto& t : pool) t.join();
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace powertcp::sim

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+/// \file shard.hpp
+/// Conservative-lookahead parallel discrete-event engine: N Simulator
+/// partitions, each with its own event queue and local clock, advanced
+/// in lock-step time windows.
+///
+/// The protocol is classic conservative PDES. Let L (the LOOKAHEAD) be
+/// the minimum propagation delay of any link that crosses a partition
+/// boundary. Each round, every shard publishes its earliest pending
+/// event time; the barrier reduction takes the global minimum T and
+/// opens the window [T, min(T + L, horizon + 1)). Events inside the
+/// window are causally safe to run in parallel: any cross-shard
+/// influence produced at time t >= T arrives at t + prop >= T + L,
+/// i.e. at or beyond the window end. Cross-shard deliveries are
+/// buffered by the shards' ingest hooks (net::ShardRouter) and drained
+/// at the next barrier, before the next minimum is taken — so a
+/// delivery always lands in a shard's queue before the window that
+/// could execute it opens.
+///
+/// Determinism: within a shard, events run in the engine's usual
+/// (time, sched, seq) order; the barrier makes every cross-shard message
+/// visible at a deterministic protocol point regardless of thread
+/// interleaving, and the ingest hooks schedule them in a stable
+/// deterministic order (see shard_link.hpp). The result is a pure
+/// function of the inputs and the shard count — reruns at the same
+/// shard count are byte-identical.
+///
+/// A ShardedSimulator with ONE shard never spawns threads, never opens
+/// windows, and drives its single Simulator with the exact same calls
+/// a standalone engine would see — byte-identical to the sequential
+/// engine by construction. See docs/performance.md ("Parallel DES").
+
+namespace powertcp::sim {
+
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(int shards = 1,
+                            QueueKind queue_kind = QueueKind::kBinaryHeap);
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  Simulator& shard(int i) { return *shards_.at(static_cast<std::size_t>(i)); }
+  const Simulator& shard(int i) const {
+    return *shards_.at(static_cast<std::size_t>(i));
+  }
+
+  /// The conservative lookahead L: the minimum propagation delay of any
+  /// cross-shard link. Must be >= 1 ps before a multi-shard run_until();
+  /// irrelevant (and unchecked) with one shard.
+  void set_lookahead(TimePs lookahead) { lookahead_ = lookahead; }
+  TimePs lookahead() const { return lookahead_; }
+
+  /// Installs shard `i`'s ingest hook. It runs on shard i's worker
+  /// thread at every window barrier, while ALL shards are quiescent,
+  /// and must move any buffered cross-shard deliveries into shard(i)
+  /// via schedule_at. The barrier orders every producer's sends of the
+  /// previous window before the hook (and the hook before the next
+  /// window), so the hook itself needs no synchronization.
+  void set_ingest_hook(int i, std::function<void()> hook);
+
+  /// Runs every shard up to `horizon` (inclusive), in parallel when
+  /// shard_count() > 1: worker threads are spawned per call, the caller
+  /// drives shard 0, and all clocks read `horizon` afterwards. The
+  /// first exception thrown by any shard's events aborts the run at the
+  /// next barrier and is rethrown here.
+  void run_until(TimePs horizon);
+
+  /// Sum of logical events executed across all shards.
+  std::uint64_t events_executed() const;
+
+  /// Sum of boundary ambiguities detected across all shards (see
+  /// Simulator::boundary_ambiguities()). Zero certifies the sharded
+  /// run byte-identical to the sequential engine; the harness reruns a
+  /// simulation point sequentially when it comes back nonzero.
+  std::uint64_t boundary_ambiguities() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s->boundary_ambiguities();
+    return total;
+  }
+
+  /// Lookahead windows synchronized so far (0 for single-shard runs) —
+  /// introspection for tests and the shard bench.
+  std::uint64_t windows() const { return windows_; }
+
+ private:
+  /// Reusable mutex/condvar cyclic barrier; the last arriver runs the
+  /// round's reduction before releasing the others.
+  class Barrier {
+   public:
+    explicit Barrier(int parties) : parties_(parties) {}
+    template <typename Fn>
+    void arrive_and_wait(Fn&& reduction) {
+      std::unique_lock<std::mutex> lock(mu_);
+      const std::uint64_t gen = generation_;
+      if (++arrived_ == parties_) {
+        reduction();
+        arrived_ = 0;
+        ++generation_;
+        lock.unlock();
+        cv_.notify_all();
+        return;
+      }
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+    void arrive_and_wait() {
+      arrive_and_wait([] {});
+    }
+
+   private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    const int parties_;
+    int arrived_ = 0;
+    std::uint64_t generation_ = 0;
+  };
+
+  void worker(int idx, TimePs horizon);
+  void record_error();
+
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<std::function<void()>> ingest_;
+  TimePs lookahead_ = 0;
+  std::uint64_t windows_ = 0;
+
+  // Per-run_until state, touched by the workers under the barrier
+  // protocol (next_times_[i] only by worker i outside the reduction).
+  std::unique_ptr<Barrier> barrier_;
+  std::vector<TimePs> next_times_;
+  TimePs window_end_ = 0;
+  bool done_ = false;
+  bool abort_ = false;
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+};
+
+}  // namespace powertcp::sim

@@ -6,6 +6,35 @@ EventId Simulator::schedule_at(TimePs t, Callback cb) {
   return schedule_burst_at(t, 1, std::move(cb), 0);
 }
 
+EventId Simulator::schedule_from(TimePs sched_time, TimePs t, Callback cb,
+                                 std::uint32_t origin) {
+  if (sched_time > t) {
+    throw std::invalid_argument("Simulator::schedule_from: sched_time " +
+                                format_time(sched_time) + " is after time " +
+                                format_time(t));
+  }
+  if (origin == 0) {
+    throw std::invalid_argument(
+        "Simulator::schedule_from: origin 0 is reserved for local events");
+  }
+  const std::uint64_t seq = next_seq_++;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].seq = seq;
+  slots_[slot].burst_count = 1;
+  slots_[slot].origin = origin;
+  slots_[slot].cb = std::move(cb);
+  queue_push(EventEntry{t, sched_time, seq, slot, 0});
+  ++live_events_;
+  return EventId{seq, slot};
+}
+
 EventId Simulator::schedule_burst_at(TimePs t, std::uint32_t count,
                                      Callback cb, std::uint32_t merge_key) {
   if (t < now_) {
@@ -27,8 +56,9 @@ EventId Simulator::schedule_burst_at(TimePs t, std::uint32_t count,
   }
   slots_[slot].seq = seq;
   slots_[slot].burst_count = count;
+  slots_[slot].origin = 0;
   slots_[slot].cb = std::move(cb);
-  queue_push(EventEntry{t, seq, slot, merge_key});
+  queue_push(EventEntry{t, now_, seq, slot, merge_key});
   ++live_events_;
   return EventId{seq, slot};
 }
@@ -44,6 +74,21 @@ bool Simulator::pop_and_run_next(TimePs limit) {
     }
     if (top.time > limit) return false;
     queue_pop();
+    // Boundary ambiguity detection: equal-(time, sched) events pop
+    // contiguously, so comparing each live pop against the previous one
+    // catches every such run that mixes causal origins — the only ties
+    // whose sequential order a partitioned run cannot reconstruct.
+    // Same-origin ties are exact: local pairs by scheduling order,
+    // same-source-shard pairs by the router's send-order merge.
+    const std::uint32_t origin = slots_[top.slot].origin;
+    if (have_prev_ && prev_time_ == top.time && prev_sched_ == top.sched &&
+        prev_origin_ != origin) {
+      ++ambiguities_;
+    }
+    have_prev_ = true;
+    prev_time_ = top.time;
+    prev_sched_ = top.sched;
+    prev_origin_ = origin;
     std::uint32_t count = slots_[top.slot].burst_count;
     Callback cb = std::move(slots_[top.slot].cb);
     release_slot(top.slot);
@@ -92,6 +137,26 @@ void Simulator::run_until(TimePs t) {
   while (!stopped_ && pop_and_run_next(t)) {
   }
   if (!stopped_ && now_ < t) now_ = t;
+}
+
+void Simulator::run_events_before(TimePs end) {
+  if (end < 1) {
+    throw std::invalid_argument("Simulator::run_events_before: end < 1");
+  }
+  stopped_ = false;
+  while (!stopped_ && pop_and_run_next(end - 1)) {
+  }
+}
+
+TimePs Simulator::next_event_time() {
+  while (const EventEntry* top = queue_peek()) {
+    if (slots_[top->slot].seq != top->seq) {
+      queue_pop();  // tombstone of a cancelled event
+      continue;
+    }
+    return top->time;
+  }
+  return kTimeInfinity;
 }
 
 }  // namespace powertcp::sim

@@ -19,7 +19,8 @@
 /// across runs.
 ///
 /// Storage is split between an EventQueue of small POD entries
-/// (time, seq, slot) — a binary heap by default, a calendar queue for
+/// (time, sched, seq, slot) — a binary heap by default, a calendar queue
+/// for
 /// dense timer workloads (QueueKind, chosen per run) — and a slot table
 /// holding the callbacks. Callbacks are sim::Callback, which embeds the
 /// closure in the slot (no per-event heap allocation; oversized captures
@@ -66,6 +67,38 @@ class Simulator {
   EventId schedule_in(TimePs delay, Callback cb) {
     return schedule_at(now_ + delay, std::move(cb));
   }
+
+  /// Schedules `cb` at absolute time `t` with an EXPLICIT causal
+  /// timestamp `sched_time` (<= t): the event sorts among
+  /// same-picosecond peers as if it had been scheduled at
+  /// `sched_time`, not at now(). This is the cross-shard ingestion
+  /// primitive — a remote packet delivery handed over at a window
+  /// barrier keeps the tie-break position the sequential engine would
+  /// have given it at the sender-side send time. `sched_time` may lie
+  /// in this simulator's past (the sender's clock runs independently);
+  /// only events at times still strictly ahead of this shard's
+  /// executed window may be scheduled, which the conservative
+  /// lookahead guarantees.
+  ///
+  /// `origin` must be NONZERO and identify the foreign causal domain
+  /// (the sharded engine uses 1 + source shard). It feeds the boundary
+  /// ambiguity detector: two back-to-back events with equal
+  /// (time, sched_time) but different origins are a tie whose
+  /// sequential order is not locally decidable — see
+  /// boundary_ambiguities().
+  EventId schedule_from(TimePs sched_time, TimePs t, Callback cb,
+                        std::uint32_t origin);
+
+  /// Count of executed same-(time, sched) adjacent event pairs whose
+  /// origins differ — boundary ties between a cross-shard delivery and
+  /// a local event (or deliveries from two different source shards)
+  /// at the same picosecond with the same causal timestamp. The
+  /// sequential engine orders such a pair by causal history that a
+  /// partitioned run cannot reconstruct with bounded state, so a
+  /// sharded run is PROVABLY byte-identical to the sequential engine
+  /// iff this stays 0 on every shard; the harness falls back to a
+  /// sequential rerun otherwise (see docs/performance.md).
+  std::uint64_t boundary_ambiguities() const { return ambiguities_; }
 
   /// Schedules ONE queue entry that stands for `count` (>= 1) logical
   /// events: when it fires, events_executed() advances by `count` and
@@ -121,6 +154,18 @@ class Simulator {
   /// earlier. Events scheduled beyond `t` remain pending.
   void run_until(TimePs t);
 
+  /// Runs every event with time strictly below `end` (>= 1); now() is
+  /// left at the last executed event, never advanced to `end`. This is
+  /// the window primitive of ShardedSimulator: a shard executes one
+  /// conservative lookahead window [start, end) and stops without
+  /// claiming the boundary instant, which the next window owns.
+  void run_events_before(TimePs end);
+
+  /// Earliest pending live event time, or kTimeInfinity when idle.
+  /// Tombstones of cancelled events blocking the top are discarded in
+  /// passing (the same lazy deletion the run loop performs).
+  TimePs next_event_time();
+
   /// Stops the run loop after the current event returns.
   void stop() { stopped_ = true; }
 
@@ -147,6 +192,11 @@ class Simulator {
     /// what used to be padding before the 16-byte-aligned Callback, so
     /// the slot stays one cache line.
     std::uint32_t burst_count = 1;
+    /// Causal domain of the scheduling action: 0 for local events,
+    /// 1 + source shard for cross-shard deliveries (schedule_from).
+    /// Rides in the remaining padding word — the slot is still one
+    /// cache line. Feeds the boundary ambiguity detector.
+    std::uint32_t origin = 0;
     Callback cb;
   };
 
@@ -191,6 +241,16 @@ class Simulator {
   std::uint32_t burst_budget_ = 1;
   std::uint32_t burst_count_ = 1;
   bool stopped_ = false;
+
+  // Boundary ambiguity detector (see boundary_ambiguities()): key and
+  // origin of the previously executed event, carried across tombstone
+  // discards. Equal-(time, sched) events pop contiguously, so checking
+  // each adjacent pair catches every run that mixes origins.
+  bool have_prev_ = false;
+  TimePs prev_time_ = 0;
+  TimePs prev_sched_ = 0;
+  std::uint32_t prev_origin_ = 0;
+  std::uint64_t ambiguities_ = 0;
 };
 
 }  // namespace powertcp::sim

@@ -1,0 +1,96 @@
+#include "topo/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace powertcp::topo {
+
+namespace {
+
+ShardPlan sequential_plan(std::size_t node_count) {
+  ShardPlan plan;
+  plan.node_shard.assign(node_count, 0);
+  return plan;
+}
+
+int clamp_shards(int requested, int natural) {
+  if (requested < 1) {
+    throw std::invalid_argument("shard plan: requested shards must be >= 1");
+  }
+  return std::min(requested, natural);
+}
+
+}  // namespace
+
+ShardPlan fat_tree_shard_plan(const FatTreeConfig& cfg, int requested) {
+  const int pod_switches = cfg.aggs_per_pod + cfg.tors_per_pod;
+  const std::size_t nodes = static_cast<std::size_t>(
+      cfg.cores + cfg.pods * pod_switches +
+      cfg.pods * cfg.tors_per_pod * cfg.servers_per_tor);
+  const int shards = clamp_shards(requested, cfg.pods);
+  if (shards < 2 || cfg.core_link_delay < 1) return sequential_plan(nodes);
+
+  ShardPlan plan;
+  plan.shards = shards;
+  plan.lookahead = cfg.core_link_delay;
+  plan.node_shard.reserve(nodes);
+  for (int c = 0; c < cfg.cores; ++c) {
+    plan.node_shard.push_back(c % shards);
+  }
+  for (int p = 0; p < cfg.pods; ++p) {
+    for (int i = 0; i < pod_switches; ++i) {
+      plan.node_shard.push_back(p % shards);
+    }
+  }
+  // Hosts are built ToR-major after every pod; a host's pod is
+  // tor / tors_per_pod.
+  const int n_tors = cfg.pods * cfg.tors_per_pod;
+  for (int t = 0; t < n_tors; ++t) {
+    for (int s = 0; s < cfg.servers_per_tor; ++s) {
+      plan.node_shard.push_back((t / cfg.tors_per_pod) % shards);
+    }
+  }
+  return plan;
+}
+
+ShardPlan dumbbell_shard_plan(const DumbbellConfig& cfg, int requested) {
+  const std::size_t nodes = static_cast<std::size_t>(cfg.n_senders) + 2;
+  const int shards = clamp_shards(requested, cfg.n_senders);
+  if (shards < 2 || cfg.link_delay < 1) return sequential_plan(nodes);
+
+  ShardPlan plan;
+  plan.shards = shards;
+  plan.lookahead = cfg.link_delay;
+  plan.node_shard.reserve(nodes);
+  plan.node_shard.push_back(0);  // bottleneck switch
+  for (int i = 0; i < cfg.n_senders; ++i) {
+    plan.node_shard.push_back(i % shards);
+  }
+  plan.node_shard.push_back(0);  // receiver
+  return plan;
+}
+
+ShardPlan rdcn_shard_plan(const RdcnConfig& cfg, int requested) {
+  const std::size_t nodes =
+      static_cast<std::size_t>(cfg.n_tors) *
+          static_cast<std::size_t>(1 + cfg.servers_per_tor) +
+      2;
+  const int shards = clamp_shards(requested, cfg.n_tors);
+  if (shards < 2 || cfg.host_link_delay < 1) return sequential_plan(nodes);
+
+  ShardPlan plan;
+  plan.shards = shards;
+  plan.lookahead = cfg.host_link_delay;
+  plan.node_shard.reserve(nodes);
+  plan.node_shard.push_back(0);  // packet core
+  for (int t = 0; t < cfg.n_tors; ++t) {
+    plan.node_shard.push_back(0);  // the ToR itself
+    for (int s = 0; s < cfg.servers_per_tor; ++s) {
+      plan.node_shard.push_back(t % shards);
+    }
+  }
+  plan.node_shard.push_back(0);  // circuit switch
+  return plan;
+}
+
+}  // namespace powertcp::topo

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "topo/dumbbell.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/rdcn.hpp"
+
+/// \file partition.hpp
+/// Shard plans for the parallel engine (sim/shard.hpp): each plan maps
+/// every node a topology builder will create — by construction order,
+/// which is the NodeId — to a shard, and reports the minimum
+/// propagation delay across the cut, which becomes the engine's
+/// conservative lookahead. Plans only cut links whose delay equals or
+/// exceeds that lookahead, and fall back to a single shard when the
+/// topology has no usable cut (no parallelism is better than a wrong
+/// answer or a zero-lookahead livelock).
+///
+/// The cuts:
+///  - fat_tree: per-pod. Pod p (its aggs, tors, and hosts) goes to
+///    shard p % N, core c to shard c % N; only agg<->core links cross,
+///    so the lookahead is core_link_delay.
+///  - dumbbell: the bottleneck switch and the receiver stay on shard 0,
+///    sender i goes to shard i % N; the cut is the sender access links
+///    (lookahead link_delay).
+///  - rdcn: all switching (ToRs, packet core, circuit switch) stays on
+///    shard 0 — the circuit switch delivers into ToRs directly through
+///    its own event queue, so splitting ToRs from it would race — and
+///    the hosts of ToR t go to shard t % N (lookahead host_link_delay).
+
+namespace powertcp::topo {
+
+struct ShardPlan {
+  int shards = 1;
+  /// Minimum cross-shard link propagation (engine lookahead). 0 when
+  /// shards == 1.
+  sim::TimePs lookahead = 0;
+  /// Shard of node i, i the topology's construction order (== NodeId).
+  std::vector<int> node_shard;
+};
+
+/// Plans for `requested` shards, clamped to the topology's natural
+/// parallelism (pods / senders / ToRs); returns a 1-shard plan when the
+/// clamp or a zero cut delay removes all parallelism.
+ShardPlan fat_tree_shard_plan(const FatTreeConfig& cfg, int requested);
+ShardPlan dumbbell_shard_plan(const DumbbellConfig& cfg, int requested);
+ShardPlan rdcn_shard_plan(const RdcnConfig& cfg, int requested);
+
+}  // namespace powertcp::topo

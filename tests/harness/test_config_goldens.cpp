@@ -90,5 +90,28 @@ INSTANTIATE_TEST_SUITE_P(AllShippedConfigs, ConfigGolden,
                            return std::string(info.param);
                          });
 
+/// The parallel-DES exactness bar: a shipped fat-tree config rendered
+/// with the engine sharded four ways must match the sequential goldens
+/// byte for byte — via causally-independent windows where the traffic
+/// allows it, via the detect-and-fallback rerun where it does not
+/// (docs/performance.md, "Parallel DES"). Deliberately outside the
+/// tsan filter like ConfigGolden above; the thread protocol itself is
+/// TSan-covered by the lighter ShardedEngine/ShardedHarness tests.
+TEST(ShardedConfigGolden, Fig6QuickByteIdenticalAtFourSimThreads) {
+  const std::string root = POWERTCP_SOURCE_DIR;
+  RunnerLoadOptions options;
+  options.force_sim_threads = 4;
+  const auto cfg = load_runner_config(
+      ConfigFile::parse_file(root + "/configs/fig6_quick.toml"),
+      ScenarioRegistry::instance(), options);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const SweepRunner runner(hw == 0 ? 1 : static_cast<int>(hw));
+  const Rendered got = render_like_cli(run_config(cfg, runner));
+
+  EXPECT_EQ(got.text, slurp(root + "/tests/goldens/fig6_quick.txt"));
+  EXPECT_EQ(got.csv, slurp(root + "/tests/goldens/fig6_quick.csv"));
+  EXPECT_EQ(got.json, slurp(root + "/tests/goldens/fig6_quick.json"));
+}
+
 }  // namespace
 }  // namespace powertcp::harness

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/scenarios.hpp"
+
+/// End-to-end exactness of the sharded harness: the same scenario
+/// config must produce the same numbers at every `sim_threads` value —
+/// either because the partitions stayed causally independent (zero
+/// boundary ambiguities) or because the harness detected otherwise and
+/// reran the point sequentially (run_with_exact_fallback). The
+/// ShardedHarness.* fixtures are part of the tsan preset's test filter:
+/// they drive real worker threads, the cross-shard rings, and the
+/// barrier protocol under TSan on every CI run.
+
+namespace powertcp::harness {
+namespace {
+
+DumbbellScenario quick_dumbbell() {
+  DumbbellScenario cfg;
+  cfg.flow_bytes = {2'000'000, 1'500'000, 1'000'000, 500'000};
+  cfg.stagger = sim::microseconds(200);
+  cfg.horizon = sim::milliseconds(2);
+  return cfg;
+}
+
+TEST(ShardedHarness, PartitionedDumbbellMatchesSequential) {
+  const SchemeRun scheme{"", "powertcp", {}};
+  DumbbellScenario seq_cfg = quick_dumbbell();
+  seq_cfg.sim_threads = 1;
+  DumbbellScenario par_cfg = quick_dumbbell();
+  par_cfg.sim_threads = 4;
+
+  const DumbbellSeries a = run_dumbbell_scenario(seq_cfg, scheme);
+  const DumbbellSeries b = run_dumbbell_scenario(par_cfg, scheme);
+
+  EXPECT_EQ(a.bin_start, b.bin_start);
+  ASSERT_EQ(a.gbps.size(), b.gbps.size());
+  for (std::size_t f = 0; f < a.gbps.size(); ++f) {
+    EXPECT_EQ(a.gbps[f], b.gbps[f]) << "flow " << f;
+  }
+}
+
+TEST(ShardedHarness, PartitionedIncastMatchesSequential) {
+  IncastScenario cfg;
+  cfg.topo = topo::FatTreeConfig::quick();
+  cfg.horizon = sim::milliseconds(1);
+  const SchemeRun scheme{"", "powertcp", {}};
+
+  IncastScenario par_cfg = cfg;
+  par_cfg.sim_threads = 4;
+  const IncastSeries a = run_incast_scenario(cfg, scheme);
+  const IncastSeries b = run_incast_scenario(par_cfg, scheme);
+
+  ASSERT_FALSE(a.gbps.empty());
+  EXPECT_EQ(a.gbps, b.gbps);
+  EXPECT_EQ(a.queue_kb, b.queue_kb);
+}
+
+}  // namespace
+}  // namespace powertcp::harness

@@ -24,6 +24,7 @@ void expect_same_drain(const std::vector<EventEntry>& a,
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].time, b[i].time) << "at " << i;
+    EXPECT_EQ(a[i].sched, b[i].sched) << "at " << i;
     EXPECT_EQ(a[i].seq, b[i].seq) << "at " << i;
     EXPECT_EQ(a[i].slot, b[i].slot) << "at " << i;
   }
@@ -31,10 +32,10 @@ void expect_same_drain(const std::vector<EventEntry>& a,
 
 TEST(CalendarEventQueue, PopsInTimeThenSeqOrder) {
   CalendarEventQueue q;
-  q.push({nanoseconds(30), 1, 0});
-  q.push({nanoseconds(10), 2, 1});
-  q.push({nanoseconds(10), 3, 2});
-  q.push({nanoseconds(20), 4, 3});
+  q.push({nanoseconds(30), 0, 1, 0});
+  q.push({nanoseconds(10), 0, 2, 1});
+  q.push({nanoseconds(10), 0, 3, 2});
+  q.push({nanoseconds(20), 0, 4, 3});
   const auto order = drain(q);
   ASSERT_EQ(order.size(), 4u);
   EXPECT_EQ(order[0].seq, 2u);
@@ -42,6 +43,26 @@ TEST(CalendarEventQueue, PopsInTimeThenSeqOrder) {
   EXPECT_EQ(order[2].seq, 4u);
   EXPECT_EQ(order[3].seq, 1u);
   EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(CalendarEventQueue, CausalTimestampBreaksSameTimeTies) {
+  // Same delivery instant, different causal (schedule-time) stamps: the
+  // earlier-scheduled event pops first even when its seq is larger —
+  // the cross-shard merge relies on this middle key. Equal stamps fall
+  // back to seq (FIFO).
+  for (const QueueKind kind : {QueueKind::kBinaryHeap, QueueKind::kCalendar}) {
+    auto q = make_event_queue(kind);
+    q->push({nanoseconds(50), nanoseconds(40), 1, 0});
+    q->push({nanoseconds(50), nanoseconds(10), 2, 1});
+    q->push({nanoseconds(50), nanoseconds(40), 3, 2});
+    q->push({nanoseconds(50), nanoseconds(25), 4, 3});
+    const auto order = drain(*q);
+    ASSERT_EQ(order.size(), 4u) << "kind " << static_cast<int>(kind);
+    EXPECT_EQ(order[0].seq, 2u);
+    EXPECT_EQ(order[1].seq, 4u);
+    EXPECT_EQ(order[2].seq, 1u);  // sched tie with 3: lower seq first
+    EXPECT_EQ(order[3].seq, 3u);
+  }
 }
 
 TEST(CalendarEventQueue, MatchesHeapOnRandomizedWorkload) {
@@ -65,7 +86,10 @@ TEST(CalendarEventQueue, MatchesHeapOnRandomizedWorkload) {
       } else {
         delta = static_cast<TimePs>(rng.uniform() * 1e11);  // sparse ~100ms
       }
-      const EventEntry e{clock + delta, seq, static_cast<std::uint32_t>(seq)};
+      // sched = the push-time clock, as the engine stamps it; heavy
+      // time ties make the (sched, seq) tail of the key do real work.
+      const EventEntry e{clock + delta, clock, seq,
+                         static_cast<std::uint32_t>(seq)};
       ++seq;
       heap.push(e);
       cal.push(e);
@@ -96,7 +120,7 @@ TEST(CalendarEventQueue, ResizesUnderGrowthAndShrink) {
   CalendarEventQueue q;
   const std::size_t initial_buckets = q.bucket_count();
   for (std::uint64_t i = 0; i < 10'000; ++i) {
-    q.push({static_cast<TimePs>(i) * 1000, i + 1,
+    q.push({static_cast<TimePs>(i) * 1000, 0, i + 1,
             static_cast<std::uint32_t>(i)});
   }
   EXPECT_GT(q.bucket_count(), initial_buckets);
@@ -116,7 +140,7 @@ TEST(CalendarEventQueue, ResizesUnderGrowthAndShrink) {
 TEST(CalendarEventQueue, AllEventsAtOneInstant) {
   CalendarEventQueue q;
   for (std::uint64_t i = 0; i < 1000; ++i) {
-    q.push({microseconds(5), i + 1, static_cast<std::uint32_t>(i)});
+    q.push({microseconds(5), 0, i + 1, static_cast<std::uint32_t>(i)});
   }
   for (std::uint64_t i = 0; i < 1000; ++i) {
     const EventEntry* top = q.peek();

@@ -10,6 +10,7 @@
 /// simulation points run on the --threads pool and the output is
 /// byte-identical for every thread count.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +41,13 @@ const char* kUsage =
     "               override [experiment] sim_burst: burst-granular\n"
     "               event processing (off is byte-identical to the\n"
     "               per-packet engine; on never changes table values)\n"
+    "  --sim-threads=N\n"
+    "               override [experiment] sim_threads: shard each\n"
+    "               simulation point across N cores (conservative\n"
+    "               lookahead; byte-identical for every N). Composes\n"
+    "               with --threads: the sweep pool shrinks to\n"
+    "               max(1, threads / N) so total concurrency stays\n"
+    "               near --threads\n"
     "  --schemes    list registered schemes, their tunables and\n"
     "               topology needs, then exit\n"
     "  --kinds      list registered scenario kinds and their\n"
@@ -122,6 +130,15 @@ int main(int argc, char** argv) {
       opts.json_path = value;
     } else if (std::strcmp(arg, "--telemetry") == 0) {
       load_opts.force_telemetry = true;
+    } else if (take_value(arg, "--sim-threads", &value)) {
+      char* end = nullptr;
+      const long n = std::strtol(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || n < 1 || n > 64) {
+        std::fprintf(stderr, "powertcp_run: bad --sim-threads value '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      load_opts.force_sim_threads = static_cast<int>(n);
     } else if (take_value(arg, "--sim-burst", &value)) {
       if (value == "on") {
         load_opts.force_burst = 1;
@@ -154,6 +171,12 @@ int main(int argc, char** argv) {
   if (configs.empty()) {
     std::fprintf(stderr, "powertcp_run: no config file given\n%s", kUsage);
     return 2;
+  }
+
+  // Keep total concurrency near --threads when each point itself runs
+  // sharded: N simulation threads per point leave threads/N pool slots.
+  if (load_opts.force_sim_threads > 1) {
+    opts.threads = std::max(1, opts.threads / load_opts.force_sim_threads);
   }
 
   harness::BenchReporter reporter("powertcp_run", opts);
