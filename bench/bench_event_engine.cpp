@@ -20,6 +20,7 @@
 #include <functional>
 #include <new>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cc/factory.hpp"
@@ -531,15 +532,33 @@ int main(int argc, char** argv) {
              "(events exact-gated across sim_threads; speedup needs cores)";
   st.slug = "event_engine_shard";
   st.key_columns = {"sim_threads"};
-  st.value_columns = {"Mev/s", "speedup", "events", "windows"};
+  st.value_columns = {"Mev/s", "speedup", "events", "windows",
+                      "shard_fallbacks"};
   double shard_base_mops = 0;
   std::uint64_t shard_base_events = 0;
   for (const int threads : {1, 2, 4}) {
+    // Through the harness's exactness policy, so the row measures what
+    // a scenario point actually gets: a fallback would rerun the point
+    // sequentially and the shard_fallbacks column (exact-gated at 0 in
+    // bench/baselines/perf.json) would expose it.
+    std::uint64_t fallbacks = 0;
     ShardRun run;
     const Measurement m = measure([&] {
-      run = run_shard_fat_tree(threads, horizon);
+      run = harness::run_with_exact_fallback(
+          threads,
+          [&](int t) {
+            ShardRun r = run_shard_fat_tree(t, horizon);
+            return std::pair<ShardRun, std::uint64_t>{r, r.ambiguities};
+          },
+          &fallbacks);
       return run.events;
     });
+    if (fallbacks != 0) {
+      std::fprintf(stderr, "FATAL: pod-local shard workload fell back to "
+                   "the sequential engine at sim_threads=%d — the cut "
+                   "leaked causality\n", threads);
+      return 1;
+    }
     if (run.ambiguities != 0) {
       std::fprintf(stderr, "FATAL: pod-local shard workload reported %llu "
                    "boundary ambiguities at sim_threads=%d — the cut "
@@ -563,7 +582,8 @@ int main(int argc, char** argv) {
     row.values = {Cell(m.mops, 2),
                   Cell(shard_base_mops > 0 ? m.mops / shard_base_mops : 0, 2),
                   Cell::integer(static_cast<std::int64_t>(m.events)),
-                  Cell::integer(static_cast<std::int64_t>(run.windows))};
+                  Cell::integer(static_cast<std::int64_t>(run.windows)),
+                  Cell::integer(static_cast<std::int64_t>(fallbacks))};
     st.rows.push_back(std::move(row));
   }
   reporter.add(std::move(st));

@@ -6,11 +6,12 @@ Usage: check_perf_baseline.py BASELINE.json CURRENT1.json [CURRENT2.json ...]
 Compares fresh bench_event_engine JSON documents against the committed
 baseline (bench/baselines/perf.json). Two classes of metric, two rules:
 
-  * deterministic columns — `events`, `windows`, and every `allocs/ev`
-    column — must match the baseline EXACTLY, and must agree across
-    the repeat runs. A planted allocation on the hot path, a changed
-    event count, or a drifted lookahead-window count is always a
-    failure; there is no noise to tolerate.
+  * deterministic columns — `events`, `windows`, `shard_fallbacks`,
+    and every `allocs/ev` column — must match the baseline EXACTLY,
+    and must agree across the repeat runs. A planted allocation on the
+    hot path, a changed event count, a drifted lookahead-window count,
+    or a shard point silently rerun sequentially is always a failure;
+    there is no noise to tolerate.
   * wall-clock columns (`Mev/s`) are gated loosely: the BEST repeat
     must stay above baseline minus a tolerance learned from the
     repeats themselves — max(MIN_DROP, NOISE_FACTOR x the relative
@@ -24,17 +25,24 @@ Structure (tables, columns, row keys) must match exactly, like
 scripts/check_sweep_baseline.py.
 
 The baseline may additionally carry a top-level `floors` list of
-absolute per-workload minimums:
+absolute per-workload bars, each carrying `min` or `max`:
 
     "floors": [{"table": "event_engine_burst",
                 "row": {"workload": "ack-train x64"},
-                "metric": "speedup", "min": 3.0}]
+                "metric": "speedup", "min": 3.0},
+               {"table": "event_engine_shard",
+                "row": {"sim_threads": 4},
+                "metric": "windows", "max": 1999}]
 
-Each floor requires the BEST repeat of that cell to stay >= `min` —
-an absolute bar (e.g. "burst mode must keep ack trains at least 3x
-faster"), unlike the relative drift band above. A floor that names an
-unknown table, row, or metric is malformed input (exit 2), so a
-renamed workload cannot silently un-gate its floor.
+A `min` floor requires the BEST (largest) repeat of that cell to stay
+>= the bar — an absolute minimum (e.g. "burst mode must keep ack
+trains at least 3x faster"); a `max` floor requires the SMALLEST
+repeat to stay <= the bar — an absolute ceiling (e.g. "batched
+lookahead must keep barrier-window counts at least 2x below the
+pre-batching engine"). Both are unlike the relative drift band above.
+A floor that names an unknown table, row, or metric is malformed
+input (exit 2), so a renamed workload cannot silently un-gate its
+floor.
 
 Exit code 0 = gate passed, 1 = regression/structure failure,
 2 = usage error or malformed/unreadable input.
@@ -64,7 +72,8 @@ def is_number(v):
 
 
 def is_deterministic(metric):
-    return metric in ("events", "windows") or "allocs" in metric
+    return metric in ("events", "windows", "shard_fallbacks") or \
+        "allocs" in metric
 
 
 def load_document(path):
@@ -130,9 +139,11 @@ def check_floors(base_path, base_tables, floors, cur_docs):
     checked = 0
     for fl in floors:
         if not isinstance(fl, dict) or \
-                not {"table", "row", "metric", "min"} <= set(fl):
+                not {"table", "row", "metric"} <= set(fl) or \
+                len({"min", "max"} & set(fl)) != 1:
             raise MalformedInput(
-                f"{base_path}: floor {fl!r} needs table/row/metric/min")
+                f"{base_path}: floor {fl!r} needs table/row/metric and "
+                f"exactly one of min/max")
         slug, keys, metric = fl["table"], fl["row"], fl["metric"]
         if slug not in base_tables:
             raise MalformedInput(
@@ -142,18 +153,26 @@ def check_floors(base_path, base_tables, floors, cur_docs):
             raise MalformedInput(
                 f"{base_path}: floor names unknown metric {metric!r} in "
                 f"{slug!r}")
-        if not is_number(fl["min"]):
+        bar = fl.get("min", fl.get("max"))
+        if not is_number(bar):
             raise MalformedInput(
-                f"{base_path}: floor min {fl['min']!r} is not a number")
+                f"{base_path}: floor bar {bar!r} is not a number")
         i = find_floor_row(base_path, base, keys)
         cvs = [cell(p, slug, tables[slug]["rows"][i], metric)
                for p, tables in cur_docs]
         checked += 1
-        best = max(cvs)
-        if best < fl["min"]:
-            fail(f"{slug}: {metric} @ {keys} below floor: best of "
-                 f"{len(cvs)} repeat(s) {best:.2f} < required minimum "
-                 f"{fl['min']:.2f}")
+        if "min" in fl:
+            best = max(cvs)
+            if best < bar:
+                fail(f"{slug}: {metric} @ {keys} below floor: best of "
+                     f"{len(cvs)} repeat(s) {best:.2f} < required minimum "
+                     f"{bar:.2f}")
+        else:
+            best = min(cvs)
+            if best > bar:
+                fail(f"{slug}: {metric} @ {keys} above ceiling: best of "
+                     f"{len(cvs)} repeat(s) {best:.2f} > required maximum "
+                     f"{bar:.2f}")
     return checked
 
 

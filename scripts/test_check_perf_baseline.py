@@ -255,7 +255,62 @@ class GateTest(unittest.TestCase):
         cur = self.write("cur.json", document())
         code, text = self.run_gate(base, cur)
         self.assertEqual(code, 2)
-        self.assertIn("table/row/metric/min", text)
+        self.assertIn("table/row/metric", text)
+
+    def test_floor_with_both_min_and_max_rejected(self):
+        doc = document()
+        doc["floors"] = [{"table": "event_engine",
+                          "row": {"workload": "dumbbell packet sim"},
+                          "metric": "heap Mev/s", "min": 1.0, "max": 9.0}]
+        base = self.write("base.json", doc)
+        cur = self.write("cur.json", document())
+        code, text = self.run_gate(base, cur)
+        self.assertEqual(code, 2)
+        self.assertIn("exactly one of min/max", text)
+
+    # ---- absolute per-workload ceilings (max floors) ---------------
+
+    @staticmethod
+    def with_ceiling(doc, metric="events", maximum=2000064.0):
+        doc = copy.deepcopy(doc)
+        doc["floors"] = [{
+            "table": "event_engine",
+            "row": {"workload": "dumbbell packet sim"},
+            "metric": metric,
+            "max": maximum,
+        }]
+        return doc
+
+    def test_ceiling_below_maximum_passes(self):
+        base = self.write("base.json",
+                          self.with_ceiling(document(), metric="heap Mev/s",
+                                            maximum=11.0))
+        cur = self.write("cur.json", document(heap_mops=10.0))
+        code, _ = self.run_gate(base, cur)
+        self.assertEqual(code, 0)
+
+    def test_ceiling_violation_fails(self):
+        # A window-count-style ceiling: the deterministic column still
+        # matching the baseline exactly does not save a value above the
+        # absolute bar.
+        base = self.write("base.json",
+                          self.with_ceiling(document(events=2000064),
+                                            metric="events",
+                                            maximum=1999999.0))
+        cur = self.write("cur.json", document(events=2000064))
+        code, text = self.run_gate(base, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("above ceiling", text)
+
+    def test_ceiling_gates_best_of_repeats(self):
+        base = self.write("base.json",
+                          self.with_ceiling(document(heap_mops=10.0),
+                                            metric="heap Mev/s",
+                                            maximum=9.0))
+        cur = [self.write(f"cur{i}.json", document(heap_mops=m))
+               for i, m in enumerate([9.5, 8.5])]
+        code, _ = self.run_gate(base, *cur)
+        self.assertEqual(code, 0)
 
 
 if __name__ == "__main__":

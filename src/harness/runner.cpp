@@ -725,11 +725,12 @@ RunnerConfig load_runner_config(const ConfigFile& file,
   ctx.aqm.beta = aqm.get_double("beta", ctx.aqm.beta);
   ctx.aqm.ecn_threshold =
       aqm.get_double("ecn_threshold", ctx.aqm.ecn_threshold);
+  ctx.aqm.interval_us = aqm.get_double("interval_us", ctx.aqm.interval_us);
   if (ctx.aqm.target_us <= 0 || ctx.aqm.tupdate_us <= 0 ||
-      ctx.aqm.alpha <= 0 || ctx.aqm.beta <= 0) {
+      ctx.aqm.alpha <= 0 || ctx.aqm.beta <= 0 || ctx.aqm.interval_us <= 0) {
     throw ConfigError(file.origin() +
-                      ": [aqm] target_us, tupdate_us, alpha and beta "
-                      "must be > 0");
+                      ": [aqm] target_us, tupdate_us, alpha, beta and "
+                      "interval_us must be > 0");
   }
   if (ctx.aqm.ecn_threshold < 0 || ctx.aqm.ecn_threshold > 1) {
     throw ConfigError(file.origin() +

@@ -56,9 +56,10 @@
 ///   gamma = 0.9
 ///
 ///   [aqm]                      # optional; switch marking/drop policy
-///   kind = red                 # red (default) | pie | pi2
-///   target_us = 20             # PI controllers: target queue delay
-///   tupdate_us = 20            # ... and update period
+///   kind = red                 # red (default) | pie | pi2 | codel
+///   target_us = 20             # PI/CoDel: target queue delay
+///   tupdate_us = 20            # PI controllers: update period
+///   interval_us = 100          # CoDel: above-target window / law base
 ///
 ///   [burst]                    # optional; burst tunables (burst.hpp)
 ///   budget = 64                # max events coalesced per callback

@@ -30,6 +30,11 @@
 ///          with min(2·p', 1) while not-ECT traffic is dropped with
 ///          p'², the square-coupling that makes scalable and classic
 ///          CC share a bottleneck.
+///   codel — RFC 8289's sojourn-time state machine, timerless and
+///          RNG-free: once the estimated sojourn (backlog / line rate)
+///          stays above target for a whole interval, packets are shot
+///          on the interval/√count control law until the queue drains
+///          below target; ECT packets are marked instead of dropped.
 ///
 /// The controllers are updated *lazily at enqueue time* (whole elapsed
 /// tupdate intervals are replayed against the current backlog, with a
@@ -53,9 +58,9 @@ struct EcnConfig {
 /// step/RED thresholds live in EcnConfig, not here: "red" reuses the
 /// per-scheme ECN profile machinery unchanged.
 struct AqmSpec {
-  /// AqmRegistry entry name: "red" (default), "pie", "pi2".
+  /// AqmRegistry entry name: "red" (default), "pie", "pi2", "codel".
   std::string kind = "red";
-  /// PI target queue delay and controller update period.
+  /// PI/CoDel target queue delay, and the PI controller update period.
   double target_us = 20.0;
   double tupdate_us = 20.0;
   /// Dimensionless PI gains; the delay error is normalized by the
@@ -66,6 +71,11 @@ struct AqmSpec {
   /// PIE only: ECT packets are marked instead of dropped while the
   /// drop probability is at or below this threshold (RFC 8033 §5.1).
   double ecn_threshold = 0.1;
+  /// CoDel only: the sliding window the sojourn estimate must stay
+  /// above target for before the drop state engages, and the base of
+  /// the interval/√count control law (RFC 8289 §4.2; 100 ms on the
+  /// internet, microseconds in a datacenter).
+  double interval_us = 100.0;
 };
 
 /// What the AQM decided for one packet at enqueue time. `drop` wins
@@ -182,6 +192,41 @@ class Pi2Aqm final : public Aqm {
  private:
   PiDelayController pi_;
   sim::Rng rng_;
+};
+
+/// RFC 8289's CoDel, adapted to the enqueue-time hook and entirely
+/// deterministic — no RNG, no timers. Sojourn time is estimated as
+/// backlog / line rate (the same departure-rate shortcut as
+/// PiDelayController, sound for a fixed-rate port). The classic state
+/// machine: while the estimate sits above `target_us` continuously for
+/// `interval_us`, the policy enters the dropping state and shoots one
+/// packet per control-law firing, with the firing gap shrinking as
+/// interval/√count; dropping ends the moment the estimate falls below
+/// target. ECT packets are marked rather than dropped (CE carries the
+/// same signal without the loss), non-ECT packets are dropped. On
+/// re-entry within 8 intervals the drop rate resumes near where it
+/// left off (count − 2, RFC 8289 §5.3) instead of restarting from 1.
+class CodelAqm final : public Aqm {
+ public:
+  CodelAqm(const AqmSpec& spec, sim::Bandwidth line_rate);
+
+  AqmVerdict on_enqueue(std::int64_t queue_bytes, bool ecn_capable,
+                        sim::TimePs now) override;
+  const char* kind() const override { return "codel"; }
+
+ private:
+  /// t + interval/√count — the gap to the next shot.
+  sim::TimePs control_law(sim::TimePs t) const;
+
+  sim::TimePs target_;
+  sim::TimePs interval_;
+  sim::Bandwidth line_rate_;
+  /// When the sojourn estimate has been above target since
+  /// first_above_ (0 = not currently above).
+  sim::TimePs first_above_ = 0;
+  sim::TimePs drop_next_ = 0;
+  std::uint32_t count_ = 0;
+  bool dropping_ = false;
 };
 
 /// The registry of AQM variants, mirroring cc::Registry: switches

@@ -103,6 +103,24 @@ void EgressPort::start_tx(Packet pkt) {
   tx_bytes_ += pkt.wire_bytes();
   ++tx_packets_;
   const sim::TimePs tx_time = bandwidth_.tx_time(pkt.wire_bytes());
+  if (remote_ != nullptr) {
+    // EARLY PUBLICATION (lookahead batching): the packet's content is
+    // final here — ECN was decided at enqueue, INT stamped above — and
+    // so are its serialization finish (now + tx_time, the causal stamp
+    // the sequential engine's finish_tx would use) and delivery time.
+    // Publishing at start_tx instead of finish_tx guarantees every
+    // cross-shard delivery lands at least tx_time(min packet) beyond
+    // the event that produced it, which is what lets the cut-link
+    // weight — and therefore the engine's lookahead windows — include
+    // the flit serialization delay on top of propagation (see
+    // ShardedSimulator::add_cut_edge and docs/performance.md §6).
+    const std::int64_t wire = pkt.wire_bytes();
+    remote_->send(sim_.now() + tx_time + propagation_, sim_.now() + tx_time,
+                  tie_token_, std::move(pkt));
+    tx_event_ = sim_.schedule_in(tx_time,
+                                 [this, wire] { finish_remote_tx(wire); });
+    return;
+  }
   // The packet rides in the pool, not the closure: capturing it by
   // value would heap-allocate ~350 bytes per transmission.
   const PacketPool::Handle h = pool_.put(std::move(pkt));
@@ -146,11 +164,12 @@ void EgressPort::start_tx_burst(Packet first, std::uint32_t budget) {
       // Cross-shard link: the destination shard schedules the delivery
       // at its next window barrier (same per-packet delivery times).
       // The causal stamp is now(), matching the burst path's local
-      // schedule_at time.
-      remote_->send(finish + propagation_, sim_.now(), std::move(pkt));
+      // schedule_tied_at time.
+      remote_->send(finish + propagation_, sim_.now(), tie_token_,
+                    std::move(pkt));
     } else if (peer_ != nullptr) {
       const PacketPool::Handle h = pool_.put(std::move(pkt));
-      sim_.schedule_at(finish + propagation_, [this, h] {
+      sim_.schedule_tied_at(finish + propagation_, tie_token_, [this, h] {
         peer_->receive(pool_.take(h), peer_in_port_);
       });
     }
@@ -169,14 +188,19 @@ void EgressPort::finish_tx(Packet pkt) {
   busy_ = false;
   if (shared_buffer_ != nullptr) shared_buffer_->on_dequeue(pkt.wire_bytes());
   if (tx_monitor_ != nullptr) tx_monitor_->add_bytes(sim_.now(), pkt.wire_bytes());
-  if (remote_ != nullptr) {
-    remote_->send(sim_.now() + propagation_, sim_.now(), std::move(pkt));
-  } else if (peer_ != nullptr) {
+  if (peer_ != nullptr) {
     const PacketPool::Handle h = pool_.put(std::move(pkt));
-    sim_.schedule_in(propagation_, [this, h] {
+    sim_.schedule_tied_at(sim_.now() + propagation_, tie_token_, [this, h] {
       peer_->receive(pool_.take(h), peer_in_port_);
     });
   }
+  kick();
+}
+
+void EgressPort::finish_remote_tx(std::int64_t wire_bytes) {
+  busy_ = false;
+  if (shared_buffer_ != nullptr) shared_buffer_->on_dequeue(wire_bytes);
+  if (tx_monitor_ != nullptr) tx_monitor_->add_bytes(sim_.now(), wire_bytes);
   kick();
 }
 

@@ -50,6 +50,13 @@ class EgressPort {
   void set_remote_channel(ShardChannel* ch) { remote_ = ch; }
   ShardChannel* remote_channel() const { return remote_; }
 
+  /// This port's tie token: a nonzero, topology-derived identifier
+  /// stamped into every delivery event's key so same-picosecond
+  /// delivery ties resolve identically in sequential and sharded runs
+  /// (see Node::attach_port, which installs it).
+  void set_tie_token(std::uint32_t tie) { tie_token_ = tie; }
+  std::uint32_t tie_token() const { return tie_token_; }
+
   /// Installs the historical step/RED marking profile — sugar for
   /// set_aqm(StepRedAqm): byte-identical to the pre-AQM-layer marking.
   void set_ecn(const EcnConfig& cfg, std::uint64_t seed) {
@@ -125,6 +132,12 @@ class EgressPort {
  private:
   void start_tx(Packet pkt);
   void finish_tx(Packet pkt);
+  /// Serialization-complete bookkeeping for the cross-shard path: the
+  /// packet itself was already published to the remote channel at
+  /// start_tx (early publication — its delivery time, causal stamp and
+  /// content are final there), so the finish event only frees the wire
+  /// and settles byte accounting.
+  void finish_remote_tx(std::int64_t wire_bytes);
   /// Per-packet observers or policies would fire at intermediate times
   /// inside a burst, so the drain only engages when none is installed.
   bool burst_eligible() const;
@@ -140,6 +153,7 @@ class EgressPort {
   Node* peer_ = nullptr;
   int peer_in_port_ = -1;
   ShardChannel* remote_ = nullptr;
+  std::uint32_t tie_token_ = 0;
 
   std::unique_ptr<Aqm> aqm_;
   std::uint64_t ecn_marks_ = 0;

@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <limits>
 #include <memory>
@@ -32,14 +33,24 @@ void Network::link_shards(Node& a, int a_port, Node& b, int b_port) {
   const int sa = shard_of(a.id());
   const int sb = shard_of(b.id());
   if (sa == sb) return;
-  const sim::TimePs prop = a.port(a_port).propagation_delay();
-  if (prop < engine_->lookahead()) {
+  const sim::TimePs prop_ab = a.port(a_port).propagation_delay();
+  const sim::TimePs prop_ba = b.port(b_port).propagation_delay();
+  if (std::min(prop_ab, prop_ba) < engine_->lookahead()) {
     throw std::logic_error(
         "Network: cross-shard link shorter than the engine lookahead — "
         "the shard plan's cut delay is wrong for this topology");
   }
   a.port(a_port).set_remote_channel(router_->add_channel(sa, sb, &b, b_port));
   b.port(b_port).set_remote_channel(router_->add_channel(sb, sa, &a, a_port));
+  // Cut-graph edge weights for the per-pair lookahead: a packet leaving
+  // shard `sa` over this link was produced by a start-of-serialization
+  // event and arrives no earlier than propagation plus the smallest
+  // packet's serialization time (early publication makes the tx term
+  // sound — see EgressPort::start_tx).
+  engine_->add_cut_edge(
+      sa, sb, prop_ab + a.port(a_port).bandwidth().tx_time(kMinWireBytes));
+  engine_->add_cut_edge(
+      sb, sa, prop_ba + b.port(b_port).bandwidth().tx_time(kMinWireBytes));
 }
 
 Network::LinkPorts Network::connect(Node& a, sim::Bandwidth bw_ab, Node& b,

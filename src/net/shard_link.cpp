@@ -30,21 +30,24 @@ void ShardRouter::ingest(int shard) {
     ch->drain_into(in.scratch);
   }
   if (in.scratch.empty()) return;
-  // Sort on (deliver_at, sent_at, src_shard, src_seq): messages from one
-  // source shard merge in that shard's execution order (src_seq), which
-  // for equal (deliver_at, sent_at) is exactly the sequential engine's
-  // relative order; cross-shard equal keys get a deterministic (if
-  // arbitrary) order and are flagged by the pop-time ambiguity detector.
-  // Scheduling via schedule_from then slots each delivery into the
-  // destination queue at its sender-side causal timestamp, so the
-  // executed order matches the sequential engine's
-  // scheduling-chronology tie-break.
+  // Sort on (deliver_at, sent_at, tie, src_shard, src_seq): messages
+  // from one source shard merge in that shard's execution order
+  // (src_seq), which for equal (deliver_at, sent_at, tie) is exactly
+  // the sequential engine's relative order — equal keys INCLUDING the
+  // tie token imply the same source port, hence the same source shard.
+  // Across ports/shards, the tie token itself is part of the
+  // destination event key, so equal-(deliver_at, sent_at) deliveries
+  // from different ports are exactly ordered by the token, matching
+  // the sequential engine's (time, sched, tie, seq) order. Scheduling
+  // via schedule_from then slots each delivery into the destination
+  // queue at its sender-side causal timestamp and token.
   std::sort(in.scratch.begin(), in.scratch.end(),
             [](const ShardMessage& a, const ShardMessage& b) {
               if (a.deliver_at != b.deliver_at) {
                 return a.deliver_at < b.deliver_at;
               }
               if (a.sent_at != b.sent_at) return a.sent_at < b.sent_at;
+              if (a.tie != b.tie) return a.tie < b.tie;
               if (a.src_shard != b.src_shard) return a.src_shard < b.src_shard;
               return a.src_seq < b.src_seq;
             });
@@ -57,7 +60,8 @@ void ShardRouter::ingest(int shard) {
     const auto origin = static_cast<std::uint32_t>(1 + m.src_shard);
     sim.schedule_from(
         m.sent_at, m.deliver_at,
-        [dst, port, pool, h] { dst->receive(pool->take(h), port); }, origin);
+        [dst, port, pool, h] { dst->receive(pool->take(h), port); }, origin,
+        m.tie);
   }
   in.scratch.clear();
 }

@@ -66,6 +66,10 @@ struct ShardMessage {
   Node* dst = nullptr;
   std::int32_t dst_in_port = -1;
   std::int32_t src_shard = 0;
+  /// The sending egress port's tie token (EgressPort::tie_token)):
+  /// carried into the destination event key so cross-shard delivery
+  /// ties resolve exactly as the sequential engine's would.
+  std::uint32_t tie = 0;
   Packet pkt;
 };
 
@@ -139,9 +143,10 @@ class ShardChannel {
         src_shard_(src_shard),
         send_stamp_(send_stamp) {}
 
-  void send(sim::TimePs deliver_at, sim::TimePs sent_at, Packet pkt) {
+  void send(sim::TimePs deliver_at, sim::TimePs sent_at, std::uint32_t tie,
+            Packet pkt) {
     ring_.push(ShardMessage{deliver_at, sent_at, (*send_stamp_)++, dst_,
-                            dst_in_port_, src_shard_, std::move(pkt)});
+                            dst_in_port_, src_shard_, tie, std::move(pkt)});
   }
 
   void drain_into(std::vector<ShardMessage>& out) { ring_.drain_into(out); }

@@ -14,6 +14,7 @@ constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
 bool earlier(const EventEntry& a, const EventEntry& b) {
   if (a.time != b.time) return a.time < b.time;
   if (a.sched != b.sched) return a.sched < b.sched;
+  if (a.tie != b.tie) return a.tie < b.tie;
   return a.seq < b.seq;
 }
 

@@ -8,8 +8,9 @@
 #include "sim/time.hpp"
 
 /// \file event_queue.hpp
-/// Pending-event storage behind the Simulator: POD (time, sched, seq,
-/// slot) entries ordered by (time, sched, seq). Two interchangeable
+/// Pending-event storage behind the Simulator: POD (time, sched, tie,
+/// seq, slot) entries ordered by (time, sched, tie, seq). Two
+/// interchangeable
 /// backends share one interface so a run can pick its structure without
 /// changing event semantics:
 ///
@@ -21,7 +22,7 @@
 ///    thousands of pacing/RTO timers and packet events tick in a narrow
 ///    moving window.
 ///
-/// Both backends pop in exactly (time, sched, seq) order, so a run's
+/// Both backends pop in exactly (time, sched, tie, seq) order, so a run's
 /// event trace — and therefore every golden output — is
 /// backend-independent; tests pin heap/calendar equivalence on
 /// randomized schedules.
@@ -49,12 +50,24 @@ namespace powertcp::sim {
 /// invocation carrying their summed count (see
 /// Simulator::schedule_burst_at). Key 0 (the default) never merges, so
 /// the per-event path is untouched.
+///
+/// `tie` is the TIE TOKEN, ordered between `sched` and `seq`: a
+/// topology-derived identifier of the producing egress port (see
+/// net::Node::attach_port), 0 for ordinary local events. Packet
+/// deliveries carry their port's token in BOTH engines, so a
+/// same-(time, sched) tie between deliveries from different ports — or
+/// between a delivery and a local event — resolves by a key every
+/// engine can compute locally, instead of by the global scheduling
+/// chronology (`seq`) that a partitioned run cannot reconstruct. This
+/// is what lets the sharded engine order cross-shard boundary ties
+/// EXACTLY like the sequential engine (see docs/performance.md §6).
 struct EventEntry {
   TimePs time;
   TimePs sched;
   std::uint64_t seq;
   std::uint32_t slot;
   std::uint32_t burst_key = 0;
+  std::uint32_t tie = 0;
 };
 
 class EventQueue {
@@ -90,6 +103,7 @@ class BinaryHeapEventQueue final : public EventQueue {
     bool operator()(const EventEntry& a, const EventEntry& b) const {
       if (a.time != b.time) return a.time > b.time;
       if (a.sched != b.sched) return a.sched > b.sched;
+      if (a.tie != b.tie) return a.tie > b.tie;
       return a.seq > b.seq;
     }
   };

@@ -60,9 +60,47 @@ class ShardedSimulator {
 
   /// The conservative lookahead L: the minimum propagation delay of any
   /// cross-shard link. Must be >= 1 ps before a multi-shard run_until();
-  /// irrelevant (and unchecked) with one shard.
+  /// irrelevant (and unchecked) with one shard. When cut edges are
+  /// registered (add_cut_edge) the engine instead derives PER-PAIR
+  /// bounds from the cut graph and this scalar only remains the
+  /// plan-sanity floor.
   void set_lookahead(TimePs lookahead) { lookahead_ = lookahead; }
   TimePs lookahead() const { return lookahead_; }
+
+  /// Registers a directed cross-shard influence edge src -> dst with
+  /// minimum latency `weight` (>= 1 ps): no event executing on shard
+  /// `src` at time t can cause an event on shard `dst` before t +
+  /// weight. The Network registers one edge per cut-link direction with
+  /// weight = propagation + tx_time(minimum wire size) — sound because
+  /// ports PUBLISH cross-shard packets at serialization start (early
+  /// publication, see EgressPort::start_tx). Multiple registrations of
+  /// a pair keep the minimum.
+  ///
+  /// With at least one edge registered, the barrier reduction replaces
+  /// the uniform window [T, T + L) with per-shard ends derived from
+  /// all-pairs shortest paths D over the cut graph:
+  ///
+  ///   end_j = min_i ( next_i + D*[i][j] ),   clamped to horizon + 1
+  ///
+  /// where D*[i][j] = D[i][j] for i != j and D*[j][j] = C_j, the
+  /// minimum cycle through j (an event in j can only re-influence j by
+  /// leaving and coming back). Idle shards (next = infinity) impose no
+  /// constraint, and multi-hop pairs constrain each other only at their
+  /// path distance — which is how a relay-partitioned topology opens
+  /// windows several times wider than its shortest cut link (fewer
+  /// barrier reductions; the `windows` bench metric). Byte-identity is
+  /// untouched: window size affects only scheduling batching, never
+  /// event order.
+  void add_cut_edge(int src, int dst, TimePs weight);
+
+  /// The engine's conservative influence bound src -> dst through the
+  /// registered cut graph: shortest path for src != dst, minimum cycle
+  /// C_src for src == dst; kTimeInfinity when unconstrained (no path,
+  /// or no cut graph registered). Introspection for tests and plans.
+  TimePs influence_bound(int src, int dst);
+
+  /// True once add_cut_edge has been called.
+  bool has_cut_graph() const { return have_cut_edges_; }
 
   /// Installs shard `i`'s ingest hook. It runs on shard i's worker
   /// thread at every window barrier, while ALL shards are quiescent,
@@ -130,17 +168,28 @@ class ShardedSimulator {
 
   void worker(int idx, TimePs horizon);
   void record_error();
+  /// Folds the registered cut edges into `bound_` (all-pairs shortest
+  /// paths plus per-shard minimum cycles). Idempotent; called before
+  /// threads spawn.
+  void finalize_bounds();
 
   std::vector<std::unique_ptr<Simulator>> shards_;
   std::vector<std::function<void()>> ingest_;
   TimePs lookahead_ = 0;
   std::uint64_t windows_ = 0;
 
+  // Cut graph (add_cut_edge): row-major shard-pair matrices. `cut_w_`
+  // holds registered edge minima, `bound_` the finalized D* bounds.
+  bool have_cut_edges_ = false;
+  bool bounds_dirty_ = false;
+  std::vector<TimePs> cut_w_;
+  std::vector<TimePs> bound_;
+
   // Per-run_until state, touched by the workers under the barrier
   // protocol (next_times_[i] only by worker i outside the reduction).
   std::unique_ptr<Barrier> barrier_;
   std::vector<TimePs> next_times_;
-  TimePs window_end_ = 0;
+  std::vector<TimePs> ends_;
   bool done_ = false;
   bool abort_ = false;
   std::mutex error_mu_;

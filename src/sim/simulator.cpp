@@ -6,8 +6,32 @@ EventId Simulator::schedule_at(TimePs t, Callback cb) {
   return schedule_burst_at(t, 1, std::move(cb), 0);
 }
 
+EventId Simulator::schedule_tied_at(TimePs t, std::uint32_t tie, Callback cb) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulator::schedule_tied_at: time " +
+                                format_time(t) + " is before now " +
+                                format_time(now_));
+  }
+  const std::uint64_t seq = next_seq_++;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].seq = seq;
+  slots_[slot].burst_count = 1;
+  slots_[slot].origin = 0;
+  slots_[slot].cb = std::move(cb);
+  queue_push(EventEntry{t, now_, seq, slot, 0, tie});
+  ++live_events_;
+  return EventId{seq, slot};
+}
+
 EventId Simulator::schedule_from(TimePs sched_time, TimePs t, Callback cb,
-                                 std::uint32_t origin) {
+                                 std::uint32_t origin, std::uint32_t tie) {
   if (sched_time > t) {
     throw std::invalid_argument("Simulator::schedule_from: sched_time " +
                                 format_time(sched_time) + " is after time " +
@@ -30,7 +54,7 @@ EventId Simulator::schedule_from(TimePs sched_time, TimePs t, Callback cb,
   slots_[slot].burst_count = 1;
   slots_[slot].origin = origin;
   slots_[slot].cb = std::move(cb);
-  queue_push(EventEntry{t, sched_time, seq, slot, 0});
+  queue_push(EventEntry{t, sched_time, seq, slot, 0, tie});
   ++live_events_;
   return EventId{seq, slot};
 }
@@ -74,20 +98,26 @@ bool Simulator::pop_and_run_next(TimePs limit) {
     }
     if (top.time > limit) return false;
     queue_pop();
-    // Boundary ambiguity detection: equal-(time, sched) events pop
+    // Boundary ambiguity detection: equal-(time, sched, tie) events pop
     // contiguously, so comparing each live pop against the previous one
     // catches every such run that mixes causal origins — the only ties
     // whose sequential order a partitioned run cannot reconstruct.
     // Same-origin ties are exact: local pairs by scheduling order,
-    // same-source-shard pairs by the router's send-order merge.
+    // same-source-shard pairs by the router's send-order merge. Pairs
+    // with DIFFERING tie tokens are exactly ordered by the token in
+    // both engines, so they are not ambiguous — and since deliveries
+    // carry unique per-port tokens, a mixed-origin same-token pair is
+    // structurally impossible; the counter stays as the safety net the
+    // harness polices.
     const std::uint32_t origin = slots_[top.slot].origin;
     if (have_prev_ && prev_time_ == top.time && prev_sched_ == top.sched &&
-        prev_origin_ != origin) {
+        prev_tie_ == top.tie && prev_origin_ != origin) {
       ++ambiguities_;
     }
     have_prev_ = true;
     prev_time_ = top.time;
     prev_sched_ = top.sched;
+    prev_tie_ = top.tie;
     prev_origin_ = origin;
     std::uint32_t count = slots_[top.slot].burst_count;
     Callback cb = std::move(slots_[top.slot].cb);

@@ -68,6 +68,17 @@ class Simulator {
     return schedule_at(now_ + delay, std::move(cb));
   }
 
+  /// Schedules `cb` at absolute time `t` carrying tie token `tie`
+  /// (0 degenerates to schedule_at): the event sorts among
+  /// same-(time, sched) peers by the token BEFORE falling back to
+  /// scheduling order. Packet deliveries
+  /// use this with their egress port's topology-derived token (see
+  /// net::Node::attach_port) so that same-picosecond delivery ties
+  /// resolve by a key that is identical in sequential and sharded runs
+  /// — the exact-ordering half of the tie-token scheme; schedule_from
+  /// carries the same token across a shard boundary.
+  EventId schedule_tied_at(TimePs t, std::uint32_t tie, Callback cb);
+
   /// Schedules `cb` at absolute time `t` with an EXPLICIT causal
   /// timestamp `sched_time` (<= t): the event sorts among
   /// same-picosecond peers as if it had been scheduled at
@@ -83,21 +94,29 @@ class Simulator {
   /// `origin` must be NONZERO and identify the foreign causal domain
   /// (the sharded engine uses 1 + source shard). It feeds the boundary
   /// ambiguity detector: two back-to-back events with equal
-  /// (time, sched_time) but different origins are a tie whose
+  /// (time, sched_time, tie) but different origins are a tie whose
   /// sequential order is not locally decidable — see
-  /// boundary_ambiguities().
+  /// boundary_ambiguities(). `tie` is the producing port's tie token
+  /// (see schedule_tied_at); deliveries stamped with a nonzero token
+  /// are exactly ordered against every differently-keyed event, so
+  /// with tokens flowing the detector is structurally silent.
   EventId schedule_from(TimePs sched_time, TimePs t, Callback cb,
-                        std::uint32_t origin);
+                        std::uint32_t origin, std::uint32_t tie = 0);
 
-  /// Count of executed same-(time, sched) adjacent event pairs whose
-  /// origins differ — boundary ties between a cross-shard delivery and
-  /// a local event (or deliveries from two different source shards)
-  /// at the same picosecond with the same causal timestamp. The
-  /// sequential engine orders such a pair by causal history that a
-  /// partitioned run cannot reconstruct with bounded state, so a
-  /// sharded run is PROVABLY byte-identical to the sequential engine
-  /// iff this stays 0 on every shard; the harness falls back to a
-  /// sequential rerun otherwise (see docs/performance.md).
+  /// Count of executed same-(time, sched, tie) adjacent event pairs
+  /// whose origins differ — boundary ties between a cross-shard
+  /// delivery and a local event (or deliveries from two different
+  /// source shards) at the same picosecond with the same causal
+  /// timestamp and the same tie token. The sequential engine orders
+  /// such a pair by causal history that a partitioned run cannot
+  /// reconstruct with bounded state, so a sharded run is PROVABLY
+  /// byte-identical to the sequential engine iff this stays 0 on every
+  /// shard; the harness falls back to a sequential rerun otherwise.
+  /// Since every cross-shard delivery carries its port's unique
+  /// nonzero token (net::Node::attach_port) while local events carry
+  /// 0, this is now a safety net that should never fire — kept (and
+  /// still policed by the harness) as the proof obligation
+  /// (see docs/performance.md).
   std::uint64_t boundary_ambiguities() const { return ambiguities_; }
 
   /// Schedules ONE queue entry that stands for `count` (>= 1) logical
@@ -244,11 +263,12 @@ class Simulator {
 
   // Boundary ambiguity detector (see boundary_ambiguities()): key and
   // origin of the previously executed event, carried across tombstone
-  // discards. Equal-(time, sched) events pop contiguously, so checking
-  // each adjacent pair catches every run that mixes origins.
+  // discards. Equal-(time, sched, tie) events pop contiguously, so
+  // checking each adjacent pair catches every run that mixes origins.
   bool have_prev_ = false;
   TimePs prev_time_ = 0;
   TimePs prev_sched_ = 0;
+  std::uint32_t prev_tie_ = 0;
   std::uint32_t prev_origin_ = 0;
   std::uint64_t ambiguities_ = 0;
 };

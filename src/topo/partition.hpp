@@ -17,16 +17,26 @@
 /// answer or a zero-lookahead livelock).
 ///
 /// The cuts:
-///  - fat_tree: per-pod. Pod p (its aggs, tors, and hosts) goes to
-///    shard p % N, core c to shard c % N; only agg<->core links cross,
-///    so the lookahead is core_link_delay.
+///  - fat_tree, requested <= pods: per-pod. At N >= 3 the cores form a
+///    dedicated RELAY shard (N-1) and pod p goes to shard p % (N-1);
+///    only agg<->core links cross (lookahead core_link_delay), and pod
+///    shards influence each other only via two hops through the relay,
+///    which the engine's per-pair lookahead turns into windows about
+///    twice the cut delay. At N == 2 the classic interleaved cut
+///    (core c % N, pod p % N) is kept.
+///  - fat_tree, requested > pods: per-ToR. The aggregation/core plane
+///    stays on shard 0 and ToR t with its hosts goes to shard
+///    1 + t % (N-1), N up to 1 + n_tors; the cut is the ToR uplinks
+///    (lookahead fabric_link_delay).
 ///  - dumbbell: the bottleneck switch and the receiver stay on shard 0,
 ///    sender i goes to shard i % N; the cut is the sender access links
 ///    (lookahead link_delay).
-///  - rdcn: all switching (ToRs, packet core, circuit switch) stays on
-///    shard 0 — the circuit switch delivers into ToRs directly through
-///    its own event queue, so splitting ToRs from it would race — and
-///    the hosts of ToR t go to shard t % N (lookahead host_link_delay).
+///  - rdcn: the circuit plane (ToRs + circuit switch) stays on shard 0
+///    — the circuit switch delivers into ToRs directly through its own
+///    event queue, so splitting ToRs from it would race — while the
+///    PACKET core gets shard 1 (its only links are ordinary ToR fabric
+///    links) and the hosts of ToR t go to shard t % N (lookahead
+///    min(host_link_delay, fabric_link_delay)).
 
 namespace powertcp::topo {
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "harness/runner.hpp"
+#include "harness/shard_setup.hpp"
 
 #ifndef POWERTCP_SOURCE_DIR
 #define POWERTCP_SOURCE_DIR "."
@@ -56,13 +57,30 @@ Rendered render_like_cli(const std::vector<ResultTable>& tables) {
   }
   r.csv = ResultTable::csv_header();
   for (const auto& t : tables) t.append_csv(r.csv);
-  r.json = "{\n  \"bench\": \"powertcp_run\",\n  \"tables\": [\n";
+  // The CLI reports shard_fallback_count() here; the goldens pin it at
+  // 0 — no shipped config may silently rerun on the sequential engine.
+  r.json = "{\n  \"bench\": \"powertcp_run\",\n  \"shard_fallbacks\": 0,\n"
+           "  \"tables\": [\n";
   for (std::size_t i = 0; i < tables.size(); ++i) {
     tables[i].append_json(r.json, 4);
     r.json += i + 1 < tables.size() ? ",\n" : "\n";
   }
   r.json += "  ]\n}\n";
   return r;
+}
+
+/// run_config with the zero-fallback acceptance bar attached: the
+/// process-wide fallback counter may not move while a shipped config
+/// renders (otherwise the "shard_fallbacks": 0 the goldens pin would
+/// be a lie whenever sim_threads > 1 is forced).
+std::vector<ResultTable> run_config_no_fallback(const RunnerConfig& cfg,
+                                                const SweepRunner& runner) {
+  const std::uint64_t before =
+      shard_fallback_count().load(std::memory_order_relaxed);
+  auto tables = run_config(cfg, runner);
+  EXPECT_EQ(shard_fallback_count().load(std::memory_order_relaxed), before)
+      << "a shipped config fell back to the sequential engine";
+  return tables;
 }
 
 class ConfigGolden : public ::testing::TestWithParam<const char*> {};
@@ -74,7 +92,7 @@ TEST_P(ConfigGolden, MatchesPreRefactorOutputByteForByte) {
       ConfigFile::parse_file(root + "/configs/" + name + ".toml"));
   const unsigned hw = std::thread::hardware_concurrency();
   const SweepRunner runner(hw == 0 ? 1 : static_cast<int>(hw));
-  const Rendered got = render_like_cli(run_config(cfg, runner));
+  const Rendered got = render_like_cli(run_config_no_fallback(cfg, runner));
 
   EXPECT_EQ(got.text, slurp(root + "/tests/goldens/" + name + ".txt"));
   EXPECT_EQ(got.csv, slurp(root + "/tests/goldens/" + name + ".csv"));
@@ -106,11 +124,34 @@ TEST(ShardedConfigGolden, Fig6QuickByteIdenticalAtFourSimThreads) {
       ScenarioRegistry::instance(), options);
   const unsigned hw = std::thread::hardware_concurrency();
   const SweepRunner runner(hw == 0 ? 1 : static_cast<int>(hw));
-  const Rendered got = render_like_cli(run_config(cfg, runner));
+  const Rendered got = render_like_cli(run_config_no_fallback(cfg, runner));
 
   EXPECT_EQ(got.text, slurp(root + "/tests/goldens/fig6_quick.txt"));
   EXPECT_EQ(got.csv, slurp(root + "/tests/goldens/fig6_quick.csv"));
   EXPECT_EQ(got.json, slurp(root + "/tests/goldens/fig6_quick.json"));
+}
+
+/// The workload the tie-token unlocked: fig5's synchronized dumbbell
+/// used to trip the boundary-ambiguity detector (every sender's burst
+/// lands at the bottleneck in the same picosecond) and silently rerun
+/// sequentially. With deliveries keyed by (time, sched, tie) the
+/// cross-shard order is exact, so the sharded run must now render the
+/// sequential goldens byte for byte WITHOUT the fallback — which
+/// run_config_no_fallback asserts.
+TEST(ShardedConfigGolden, Fig5QuickByteIdenticalAtFourSimThreads) {
+  const std::string root = POWERTCP_SOURCE_DIR;
+  RunnerLoadOptions options;
+  options.force_sim_threads = 4;
+  const auto cfg = load_runner_config(
+      ConfigFile::parse_file(root + "/configs/fig5_quick.toml"),
+      ScenarioRegistry::instance(), options);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const SweepRunner runner(hw == 0 ? 1 : static_cast<int>(hw));
+  const Rendered got = render_like_cli(run_config_no_fallback(cfg, runner));
+
+  EXPECT_EQ(got.text, slurp(root + "/tests/goldens/fig5_quick.txt"));
+  EXPECT_EQ(got.csv, slurp(root + "/tests/goldens/fig5_quick.csv"));
+  EXPECT_EQ(got.json, slurp(root + "/tests/goldens/fig5_quick.json"));
 }
 
 }  // namespace

@@ -679,7 +679,8 @@ TEST(Runner, MixedCcLoaderRejectsBadMixesWithFileLineContext) {
   // Malformed member syntax, empty list, unknown AQM kind, bad axes.
   EXPECT_THROW(load("cc_mix = dctcp:0+powertcp\n"), ConfigError);
   EXPECT_THROW(load(""), ConfigError);
-  EXPECT_THROW(load("cc_mix = dctcp\naqm = codel\n"), ConfigError);
+  EXPECT_THROW(load("cc_mix = dctcp\naqm = fq_codel\n"), ConfigError);
+  EXPECT_NO_THROW(load("cc_mix = dctcp\naqm = codel\n"));
   EXPECT_THROW(load("cc_mix = dctcp\nrtt_us = 0\n"), ConfigError);
   EXPECT_THROW(load("cc_mix = dctcp\nbuffer_kb = -4\n"), ConfigError);
   EXPECT_THROW(load("cc_mix = dctcp\nsenders = 0\n"), ConfigError);
@@ -703,8 +704,15 @@ TEST(Runner, AqmSectionParsesAndRejectsBadValues) {
   EXPECT_DOUBLE_EQ(spec.target_us, 40.0);
   EXPECT_DOUBLE_EQ(spec.alpha, 0.25);
   EXPECT_DOUBLE_EQ(spec.tupdate_us, 20.0);  // untouched default
-  EXPECT_THROW(load("[aqm]\nkind = codel\n"), ConfigError);
+  const auto codel =
+      load("[aqm]\nkind = codel\ntarget_us = 40\ninterval_us = 250\n");
+  const net::AqmSpec& cd = as_kind<DumbbellKindConfig>(codel).dumbbell.topo.aqm;
+  EXPECT_EQ(cd.kind, "codel");
+  EXPECT_DOUBLE_EQ(cd.target_us, 40.0);
+  EXPECT_DOUBLE_EQ(cd.interval_us, 250.0);
+  EXPECT_THROW(load("[aqm]\nkind = fq_codel\n"), ConfigError);
   EXPECT_THROW(load("[aqm]\ntarget_us = 0\n"), ConfigError);
+  EXPECT_THROW(load("[aqm]\ninterval_us = 0\n"), ConfigError);
   EXPECT_THROW(load("[aqm]\necn_threshold = 1.5\n"), ConfigError);
   EXPECT_THROW(load("[aqm]\nkindd = pie\n"), ConfigError);  // unknown key
 }

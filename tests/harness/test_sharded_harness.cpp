@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "harness/scenarios.hpp"
+#include "harness/shard_setup.hpp"
 
 /// End-to-end exactness of the sharded harness: the same scenario
 /// config must produce the same numbers at every `sim_threads` value —
@@ -55,6 +58,60 @@ TEST(ShardedHarness, PartitionedIncastMatchesSequential) {
   ASSERT_FALSE(a.gbps.empty());
   EXPECT_EQ(a.gbps, b.gbps);
   EXPECT_EQ(a.queue_kb, b.queue_kb);
+}
+
+TEST(ShardedHarness, PerTorFatTreeCutMatchesSequential) {
+  // sim_threads > pods selects the per-ToR plan (aggregation/core
+  // plane on shard 0, one shard per ToR): quick() has 4 pods and 8
+  // ToRs, so 6 threads can only come from the per-ToR cut. The fan-in
+  // keeps cross-ToR traffic flowing both ways across the uplinks.
+  IncastScenario cfg;
+  cfg.topo = topo::FatTreeConfig::quick();
+  cfg.fan_in = 8;
+  cfg.query_bytes = 800'000;
+  cfg.horizon = sim::milliseconds(1);
+  const SchemeRun scheme{"", "powertcp", {}};
+
+  IncastScenario par_cfg = cfg;
+  par_cfg.sim_threads = 6;
+  const std::uint64_t before =
+      shard_fallback_count().load(std::memory_order_relaxed);
+  const IncastSeries a = run_incast_scenario(cfg, scheme);
+  const IncastSeries b = run_incast_scenario(par_cfg, scheme);
+
+  ASSERT_FALSE(a.gbps.empty());
+  EXPECT_EQ(a.gbps, b.gbps);
+  EXPECT_EQ(a.queue_kb, b.queue_kb);
+  // The tie-token total order means the cut needs no sequential rerun.
+  EXPECT_EQ(shard_fallback_count().load(std::memory_order_relaxed), before);
+}
+
+TEST(ShardedHarness, RdcnPacketCircuitCutMatchesSequential) {
+  // The rdcn plan pins the circuit plane (ToRs + circuit switch) to
+  // shard 0, the packet core to shard 1, and spreads hosts by rack;
+  // 4 threads exercises all three roles at once.
+  RdcnScenario cfg;
+  cfg.topo.n_tors = 8;
+  cfg.topo.servers_per_tor = 4;
+  cfg.topo.packet_bw = sim::Bandwidth::gbps(25);
+  cfg.expected_flows = 4;
+  cfg.flow_bytes = 50'000'000;
+  cfg.horizon = sim::milliseconds(2);
+  const SchemeRun scheme{"", "powertcp", {}};
+
+  RdcnScenario par_cfg = cfg;
+  par_cfg.sim_threads = 4;
+  const std::uint64_t before =
+      shard_fallback_count().load(std::memory_order_relaxed);
+  const RdcnResult a = run_rdcn_scenario(cfg, scheme);
+  const RdcnResult b = run_rdcn_scenario(par_cfg, scheme);
+
+  ASSERT_FALSE(a.gbps.empty());
+  EXPECT_EQ(a.gbps, b.gbps);
+  EXPECT_EQ(a.voq_kb, b.voq_kb);
+  EXPECT_EQ(a.p99_sojourn_us, b.p99_sojourn_us);
+  EXPECT_EQ(a.circuit_utilization, b.circuit_utilization);
+  EXPECT_EQ(shard_fallback_count().load(std::memory_order_relaxed), before);
 }
 
 }  // namespace

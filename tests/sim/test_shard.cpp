@@ -105,14 +105,17 @@ TEST(ShardedEngine, IndependentShardsAdvanceInLockstepWindows) {
   ShardedSimulator eng(4);
   eng.set_lookahead(nanoseconds(100));
   std::array<int, 4> fired{};
+  // The chains outlive every queued copy; owning the functions here
+  // (rather than a self-captured shared_ptr) keeps LeakSanitizer happy.
+  std::array<std::function<void()>, 4> ticks;
   for (int d = 0; d < 4; ++d) {
-    auto tick = std::make_shared<std::function<void()>>();
-    *tick = [&eng, &fired, d, tick] {
+    ticks[static_cast<std::size_t>(d)] = [&eng, &fired, &ticks, d] {
       if (++fired[static_cast<std::size_t>(d)] < 1000) {
-        eng.shard(d).schedule_in(nanoseconds(13 + d), *tick);
+        eng.shard(d).schedule_in(nanoseconds(13 + d),
+                                 ticks[static_cast<std::size_t>(d)]);
       }
     };
-    eng.shard(d).schedule_at(0, *tick);
+    eng.shard(d).schedule_at(0, ticks[static_cast<std::size_t>(d)]);
   }
   eng.run_until(microseconds(50));
   for (int d = 0; d < 4; ++d) {
@@ -287,6 +290,255 @@ TEST(ShardedEngine, RandomizedCrossShardTraceMatchesSequential) {
     }
     // The random timestamps keep cross-domain keys distinct, so the
     // detector certifies the equivalence the EXPECTs just checked.
+    EXPECT_EQ(ambiguities, 0u) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Cut-graph lookahead: registration rules, the Floyd–Warshall influence
+// bounds, and the wider windows they open over the uniform protocol.
+// ---------------------------------------------------------------------
+
+TEST(ShardedEngine, CutEdgeRejectsBadPairsAndWeights) {
+  ShardedSimulator eng(3);
+  EXPECT_THROW(eng.add_cut_edge(-1, 0, nanoseconds(1)),
+               std::invalid_argument);
+  EXPECT_THROW(eng.add_cut_edge(0, 3, nanoseconds(1)), std::invalid_argument);
+  EXPECT_THROW(eng.add_cut_edge(1, 1, nanoseconds(1)), std::invalid_argument);
+  EXPECT_THROW(eng.add_cut_edge(0, 1, 0), std::invalid_argument);
+  EXPECT_FALSE(eng.has_cut_graph());
+  eng.add_cut_edge(0, 1, nanoseconds(5));
+  EXPECT_TRUE(eng.has_cut_graph());
+}
+
+TEST(ShardedEngine, InfluenceBoundIsInfiniteWithoutACutGraph) {
+  ShardedSimulator eng(2);
+  EXPECT_EQ(eng.influence_bound(0, 1), kTimeInfinity);
+  EXPECT_THROW(eng.influence_bound(0, 2), std::invalid_argument);
+}
+
+TEST(ShardedEngine, InfluenceBoundFollowsRelayPathsAndCycles) {
+  // Directed triangle 0 -> 1 -> 2 -> 0: every pair relates only
+  // through it, so the bounds are path sums, and self-influence is the
+  // full cycle — never zero.
+  ShardedSimulator eng(3);
+  eng.add_cut_edge(0, 1, nanoseconds(300));
+  eng.add_cut_edge(1, 2, nanoseconds(500));
+  eng.add_cut_edge(2, 0, nanoseconds(700));
+  EXPECT_EQ(eng.influence_bound(0, 1), nanoseconds(300));
+  EXPECT_EQ(eng.influence_bound(0, 2), nanoseconds(800));
+  EXPECT_EQ(eng.influence_bound(1, 0), nanoseconds(1200));
+  EXPECT_EQ(eng.influence_bound(2, 1), nanoseconds(1000));
+  EXPECT_EQ(eng.influence_bound(0, 0), nanoseconds(1500));
+  EXPECT_EQ(eng.influence_bound(1, 1), nanoseconds(1500));
+  // Re-registering a pair keeps the minimum; a genuinely shorter edge
+  // tightens every bound routed through it.
+  eng.add_cut_edge(1, 2, nanoseconds(900));  // looser: 500 stands
+  EXPECT_EQ(eng.influence_bound(1, 2), nanoseconds(500));
+  eng.add_cut_edge(2, 1, nanoseconds(100));
+  EXPECT_EQ(eng.influence_bound(1, 1), nanoseconds(600));  // 1 -> 2 -> 1
+}
+
+TEST(ShardedEngine, UnreachablePairsStayUnconstrained) {
+  ShardedSimulator eng(3);
+  eng.add_cut_edge(0, 1, nanoseconds(10));
+  EXPECT_EQ(eng.influence_bound(1, 0), kTimeInfinity);
+  EXPECT_EQ(eng.influence_bound(0, 0), kTimeInfinity);  // no cycle back
+  EXPECT_EQ(eng.influence_bound(2, 1), kTimeInfinity);
+}
+
+TEST(ShardedEngine, CutGraphBatchesWindowsBeyondTheUniformLookahead) {
+  // Two independent tick chains under the two protocols. The cut graph
+  // registers only 0 -> 1, so shard 0 is unconstrained (its first
+  // window reaches the horizon) and shard 1 is released the moment
+  // shard 0 idles — a handful of barrier rounds where the uniform
+  // protocol pays one per lookahead of simulated time.
+  const TimePs horizon = microseconds(100);
+  const TimePs w = nanoseconds(200);
+  // Chains owned outside the engine (no self-captured shared_ptr — it
+  // would cycle and leak under LeakSanitizer).
+  const auto drive = [](ShardedSimulator& eng,
+                        std::array<std::function<void()>, 2>& ticks) {
+    for (int d = 0; d < 2; ++d) {
+      Simulator* shard = &eng.shard(d);
+      ticks[static_cast<std::size_t>(d)] = [shard, &ticks, d] {
+        shard->schedule_in(nanoseconds(17),
+                           ticks[static_cast<std::size_t>(d)]);
+      };
+      shard->schedule_at(0, ticks[static_cast<std::size_t>(d)]);
+    }
+  };
+
+  ShardedSimulator uniform(2);
+  std::array<std::function<void()>, 2> uniform_ticks;
+  uniform.set_lookahead(w);
+  drive(uniform, uniform_ticks);
+  uniform.run_until(horizon);
+
+  ShardedSimulator cut(2);
+  std::array<std::function<void()>, 2> cut_ticks;
+  cut.set_lookahead(w);  // plan-sanity floor; the graph supersedes it
+  cut.add_cut_edge(0, 1, w);
+  drive(cut, cut_ticks);
+  cut.run_until(horizon);
+
+  EXPECT_EQ(cut.events_executed(), uniform.events_executed());
+  EXPECT_GT(uniform.windows(), 100u);
+  EXPECT_LT(cut.windows(), 10u);
+  EXPECT_EQ(cut.boundary_ambiguities(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Randomized relay-cut equivalence: the domains live on shards 0 and 2
+// and exchange mail exclusively through a relay hop on shard 1 — the
+// shape of the per-pod fat-tree plan, where pods meet only in the core
+// shard. The engine sees only the per-hop cut edges; the per-pair
+// bounds it derives (2 x kDelay end to end) must keep both domains'
+// traces byte-equal to the sequential engine's.
+// ---------------------------------------------------------------------
+
+struct RelayMail {
+  TimePs sent_at = 0;     ///< domain send moment (hop-1 sched time)
+  TimePs relay_at = 0;    ///< relay execution (hop-2 sched time)
+  TimePs deliver_at = 0;  ///< final delivery at the peer domain
+  int dst = 0;
+  int ttl = 0;
+};
+
+/// Widens a Process Mail into the two-hop schedule: the Mail's
+/// deliver_at becomes the relay arrival and the second hop adds another
+/// kDelay plus a jitter drawn HERE, from the sending domain's rng — the
+/// seam runs at the same logical point in both engines, so the streams
+/// stay aligned.
+RelayMail relay_route(std::array<Domain, 2>& doms, int src, const Mail& m) {
+  RelayMail rm;
+  rm.sent_at = m.sent_at;
+  rm.relay_at = m.deliver_at;
+  const TimePs jitter = static_cast<TimePs>(
+      doms[static_cast<std::size_t>(src)].rng.next_u64() % nanoseconds(200));
+  rm.deliver_at = rm.relay_at + kDelay + jitter;
+  rm.dst = 1 - src;
+  rm.ttl = m.ttl;
+  return rm;
+}
+
+std::array<Domain, 2> run_sequential_relay(std::uint64_t seed,
+                                           TimePs horizon) {
+  std::array<Domain, 2> doms;
+  doms[0].rng = Rng(seed);
+  doms[1].rng = Rng(seed ^ 0x9E3779B97F4A7C15ull);
+  Simulator s;
+  auto sim_of = [&](int) -> Simulator& { return s; };
+  using ProcessT = Process<decltype(sim_of), std::function<void(int, Mail)>>;
+  ProcessT* pp = nullptr;
+  std::function<void(int, Mail)> send = [&](int src, Mail m) {
+    const RelayMail rm = relay_route(doms, src, m);
+    s.schedule_at(rm.relay_at, [&, rm] {
+      s.schedule_at(rm.deliver_at,
+                    [&, rm] { pp->receive(rm.dst, rm.ttl); });
+    });
+  };
+  ProcessT p{doms, sim_of, send};
+  pp = &p;
+  s.schedule_at(0, [&] { p.tick(0); });
+  s.schedule_at(0, [&] { p.tick(1); });
+  s.run_until(horizon);
+  return doms;
+}
+
+std::array<Domain, 2> run_sharded_relay(std::uint64_t seed, TimePs horizon,
+                                        std::uint64_t* ambiguities) {
+  std::array<Domain, 2> doms;
+  doms[0].rng = Rng(seed);
+  doms[1].rng = Rng(seed ^ 0x9E3779B97F4A7C15ull);
+  ShardedSimulator eng(3);
+  eng.set_lookahead(kDelay);  // plan-sanity floor; the graph supersedes it
+  eng.add_cut_edge(0, 1, kDelay);
+  eng.add_cut_edge(1, 0, kDelay);
+  eng.add_cut_edge(1, 2, kDelay);
+  eng.add_cut_edge(2, 1, kDelay);
+  const auto shard_of = [](int d) { return d == 0 ? 0 : 2; };
+  auto sim_of = [&](int d) -> Simulator& { return eng.shard(shard_of(d)); };
+  // Single-writer mailboxes, read only at barriers (same discipline as
+  // the two-shard fixture above): domains feed the relay, the relay
+  // feeds the domains.
+  std::array<std::vector<RelayMail>, 2> to_relay;   // by source domain
+  std::array<std::vector<RelayMail>, 2> to_domain;  // by dest domain
+  using ProcessT = Process<decltype(sim_of), std::function<void(int, Mail)>>;
+  ProcessT* pp = nullptr;
+  std::function<void(int, Mail)> send = [&](int src, Mail m) {
+    to_relay[static_cast<std::size_t>(src)].push_back(
+        relay_route(doms, src, m));
+  };
+  ProcessT p{doms, sim_of, send};
+  pp = &p;
+  // Relay ingest: merge both domains' hop-1 mail on the usual
+  // (deliver, sched) key; the forwarded hop is stamped with the relay's
+  // own clock, exactly as the sequential engine's nested schedule_at.
+  eng.set_ingest_hook(1, [&] {
+    std::vector<RelayMail> batch;
+    for (auto& box : to_relay) {
+      batch.insert(batch.end(), box.begin(), box.end());
+      box.clear();
+    }
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const RelayMail& a, const RelayMail& b) {
+                       if (a.relay_at != b.relay_at) {
+                         return a.relay_at < b.relay_at;
+                       }
+                       return a.sent_at < b.sent_at;
+                     });
+    for (const RelayMail& m : batch) {
+      eng.shard(1).schedule_from(
+          m.sent_at, m.relay_at,
+          [&eng, &to_domain, m] {
+            RelayMail fwd = m;
+            fwd.sent_at = eng.shard(1).now();
+            to_domain[static_cast<std::size_t>(fwd.dst)].push_back(fwd);
+          },
+          // Origin token of the SENDING domain's shard (0 -> 1, 2 -> 3).
+          static_cast<std::uint32_t>(m.dst == 1 ? 1 : 3));
+    }
+  });
+  for (int d = 0; d < 2; ++d) {
+    eng.set_ingest_hook(shard_of(d), [&, d] {
+      auto& box = to_domain[static_cast<std::size_t>(d)];
+      std::stable_sort(box.begin(), box.end(),
+                       [](const RelayMail& a, const RelayMail& b) {
+                         if (a.deliver_at != b.deliver_at) {
+                           return a.deliver_at < b.deliver_at;
+                         }
+                         return a.sent_at < b.sent_at;
+                       });
+      for (const RelayMail& m : box) {
+        eng.shard(shard_of(d)).schedule_from(
+            m.sent_at, m.deliver_at,
+            [pp, d, ttl = m.ttl] { pp->receive(d, ttl); },
+            2u);  // origin: the relay shard
+      }
+      box.clear();
+    });
+  }
+  eng.shard(0).schedule_at(0, [&] { p.tick(0); });
+  eng.shard(2).schedule_at(0, [&] { p.tick(1); });
+  eng.run_until(horizon);
+  *ambiguities = eng.boundary_ambiguities();
+  return doms;
+}
+
+TEST(ShardedEngine, RandomizedRelayCutTraceMatchesSequential) {
+  const TimePs horizon = milliseconds(2);
+  for (const std::uint64_t seed : {3ull, 99ull, 0xC0FFEEull}) {
+    const auto seq = run_sequential_relay(seed, horizon);
+    std::uint64_t ambiguities = 0;
+    const auto shard = run_sharded_relay(seed, horizon, &ambiguities);
+    for (int d = 0; d < 2; ++d) {
+      ASSERT_GT(seq[static_cast<std::size_t>(d)].trace.size(), 400u)
+          << "seed " << seed << " domain " << d;
+      EXPECT_EQ(shard[static_cast<std::size_t>(d)].trace,
+                seq[static_cast<std::size_t>(d)].trace)
+          << "seed " << seed << " domain " << d;
+    }
     EXPECT_EQ(ambiguities, 0u) << "seed " << seed;
   }
 }

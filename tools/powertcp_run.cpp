@@ -11,6 +11,7 @@
 /// byte-identical for every thread count.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +24,7 @@
 #include "harness/config.hpp"
 #include "harness/runner.hpp"
 #include "harness/scenario_registry.hpp"
+#include "harness/shard_setup.hpp"
 
 using namespace powertcp;
 
@@ -192,6 +194,20 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "powertcp_run: %s\n", e.what());
       return 2;
     }
+  }
+  // Fallback visibility: points whose boundary-ambiguity detector fired
+  // were rerun on the sequential engine (same bytes, none of the
+  // speedup). Surface the count so "sharded but silently sequential"
+  // can't hide — the shipped configs are expected to report 0 now that
+  // the tie-token orders cross-shard ties exactly.
+  const std::uint64_t fallbacks =
+      harness::shard_fallback_count().load(std::memory_order_relaxed);
+  reporter.set_shard_fallbacks(fallbacks);
+  if (fallbacks > 0) {
+    std::fprintf(stderr,
+                 "powertcp_run: %llu simulation point(s) fell back to the "
+                 "sequential engine (boundary ambiguity; results exact)\n",
+                 static_cast<unsigned long long>(fallbacks));
   }
   return reporter.finish();
 }
